@@ -1,0 +1,31 @@
+"""Shared simulated worlds for the benchmark suite.
+
+Each world is simulated once per session; the benchmarks time the
+*reproduction pipelines* (detection, dedup, lifespan tracking, figure
+builders) over those records — the part of the system a user re-runs.
+"""
+
+import pytest
+
+from repro.experiments import campaign_run, replication_run, replication_runs
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    """Quick-config 2024 campaign (covers the scripted §5 cases)."""
+    return campaign_run(quick=True)
+
+
+@pytest.fixture(scope="session")
+def campaign_dumps(campaign):
+    return list(campaign.rib_dumps())
+
+
+@pytest.fixture(scope="session")
+def replication_2018():
+    return replication_run("2018", days=4)
+
+
+@pytest.fixture(scope="session")
+def replication_all():
+    return replication_runs(days=3)

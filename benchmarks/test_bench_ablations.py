@@ -1,0 +1,85 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out:
+
+* Aggregator-based dedup on/off — cost and effect size;
+* noisy-peer exclusion on/off — effect on outbreak counts;
+* interval isolation (revised) vs carried state (legacy) — cost and
+  double-counting effect;
+* detection threshold sensitivity.
+"""
+
+from repro.core import LegacyDetector, NoisyPeerDetector
+from repro.utils.timeutil import MINUTE
+
+
+def test_bench_ablation_dedup(benchmark, replication_2018):
+    """The paper's headline methodology fix: how much does the
+    Aggregator filter change, and what does it cost?"""
+    run = replication_2018
+
+    def both():
+        with_dc = run.detect(dedup=False, exclude_noisy=True)
+        without_dc = run.detect(dedup=True, exclude_noisy=True)
+        return with_dc, without_dc
+
+    with_dc, without_dc = benchmark.pedantic(both, iterations=1, rounds=3)
+    assert without_dc.outbreak_count <= with_dc.outbreak_count
+    reduction = (1 - without_dc.outbreak_count / with_dc.outbreak_count
+                 if with_dc.outbreak_count else 0)
+    print(f"\ndedup ablation: {with_dc.outbreak_count} -> "
+          f"{without_dc.outbreak_count} outbreaks ({reduction:.1%} removed)")
+
+
+def test_bench_ablation_noisy_exclusion(benchmark, replication_2018):
+    run = replication_2018
+
+    def both():
+        return (run.detect(exclude_noisy=False), run.detect(exclude_noisy=True))
+
+    including, excluding = benchmark.pedantic(both, iterations=1, rounds=3)
+    assert excluding.outbreak_count < including.outbreak_count
+    print(f"\nnoisy-peer ablation: {including.outbreak_count} -> "
+          f"{excluding.outbreak_count} outbreaks")
+
+
+def test_bench_ablation_legacy_vs_revised(benchmark, replication_2018):
+    """Interval isolation vs the previous study's carried state."""
+    run = replication_2018
+
+    def both():
+        legacy = LegacyDetector(miss_prob=0.0).detect(run.records,
+                                                      run.intervals)
+        revised = run.detect(dedup=True, exclude_noisy=False)
+        return legacy, revised
+
+    legacy, revised = benchmark.pedantic(both, iterations=1, rounds=1)
+    # Carried state can only see more (or equal) zombie state.
+    assert legacy.outbreak_count >= revised.outbreak_count
+    print(f"\nlegacy={legacy.outbreak_count} revised={revised.outbreak_count}")
+
+
+def test_bench_ablation_threshold(benchmark, replication_2018):
+    """Threshold sensitivity of the revised detector (the Fig. 2 axis,
+    on the replication workload)."""
+    run = replication_2018
+
+    def sweep():
+        return [run.detect(threshold=minutes * MINUTE,
+                           exclude_noisy=True).outbreak_count
+                for minutes in (90, 120, 150)]
+
+    counts = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    assert counts == sorted(counts, reverse=True)
+    print(f"\nthreshold sweep 90/120/150min: {counts}")
+
+
+def test_bench_noisy_peer_detection(benchmark, campaign):
+    """Cost of the outlier scan itself."""
+    result = campaign.detect(threshold=90 * MINUTE)
+
+    def scan():
+        return NoisyPeerDetector(ratio=4.0, floor=0.04).analyze(result)
+
+    report = benchmark(scan)
+    assert campaign.noisy_truth <= report.noisy_keys
+    print(f"\nflagged {len(report.noisy)} noisy routers out of "
+          f"{len(report.stats)}")

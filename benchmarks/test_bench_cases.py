@@ -1,0 +1,24 @@
+"""C1/C2 — §5.2 case studies: the impactful zombie (Core-Backbone) and
+the extremely long-lived zombie (HGC)."""
+
+from repro.experiments import build_paper_cases
+from repro.experiments.cases import render_case
+
+
+def test_bench_cases(benchmark, campaign):
+    cases = benchmark.pedantic(build_paper_cases, args=(campaign,),
+                               iterations=1, rounds=1)
+    impactful = cases["impactful"]
+    long_lived = cases["long_lived"]
+    assert impactful is not None and long_lived is not None
+    # C1: many peers, Core-Backbone root cause, days-long.
+    assert impactful.peer_router_count >= 10
+    assert impactful.suspected_root_cause == 33891
+    assert impactful.common_subpath[-4:] == (33891, 25091, 8298, 210312)
+    # C2: months-long at AS9304/AS17639/AS142271, HGC root cause.
+    assert long_lived.suspected_root_cause == 9304
+    assert long_lived.duration_days > 100
+    assert {9304, 17639, 142271} <= set(long_lived.peer_durations_days)
+    print()
+    print(render_case("impactful (2233)", impactful))
+    print(render_case("long-lived (163)", long_lived))

@@ -1,0 +1,22 @@
+"""F2 — Figure 2: outbreak count/fraction vs detection threshold,
+including the §5.1 resurrection uptick after 170 minutes."""
+
+from repro.experiments import build_figure2, render_figure2
+
+
+def test_bench_figure2(benchmark, campaign):
+    points = benchmark.pedantic(
+        build_figure2, args=(campaign,),
+        kwargs={"thresholds_minutes": tuple(range(90, 181, 10)) + (175,)},
+        iterations=1, rounds=1)
+    by_threshold = {p.threshold_minutes: p for p in points}
+    # Decreasing trend from 90 to 170 minutes...
+    assert (by_threshold[90].fraction_excluded
+            > by_threshold[170].fraction_excluded)
+    # ...noisy peers dominate the all-peers line...
+    assert by_threshold[180].outbreaks_all > 3 * by_threshold[180].outbreaks_excluded
+    # ...and the resurrection uptick appears after 170 minutes.
+    assert (by_threshold[175].outbreaks_excluded
+            > by_threshold[170].outbreaks_excluded)
+    print()
+    print(render_figure2(sorted(points, key=lambda p: p.threshold_minutes)))

@@ -1,0 +1,14 @@
+"""F4 — Figure 4: timeline of a zombie prefix resurrecting over months."""
+
+from repro.experiments import build_figure4, render_figure4
+
+
+def test_bench_figure4(benchmark, campaign):
+    data = benchmark.pedantic(build_figure4, args=(campaign,),
+                              iterations=1, rounds=1)
+    assert data is not None
+    assert data.segments
+    assert data.resurrections
+    assert data.total_span_days > 30
+    print()
+    print(render_figure4(data))

@@ -1,0 +1,19 @@
+"""F6 — Figure 6: AS-path length CDFs (normal vs zombie paths)."""
+
+from repro.experiments import build_figure6
+
+
+def test_bench_figure6(benchmark, replication_2018):
+    data = benchmark.pedantic(build_figure6, args=(replication_2018,),
+                              iterations=1, rounds=1)
+    stats = data.without_dc
+    assert not stats.zombie_paths.is_empty
+    # Paper: zombie paths are longer — they come from path hunting —
+    # and the overwhelming majority differ from the pre-withdrawal path.
+    assert stats.zombie_paths.mean() > stats.normal_at_normal_peers.mean()
+    assert stats.changed_path_fraction > 0.5
+    print()
+    print(f"mean lengths: normal(normal)={stats.normal_at_normal_peers.mean():.2f} "
+          f"normal(zombie)={stats.normal_at_zombie_peers.mean():.2f} "
+          f"zombie={stats.zombie_paths.mean():.2f}; "
+          f"changed={stats.changed_path_fraction:.1%}")

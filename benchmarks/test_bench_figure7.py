@@ -1,0 +1,18 @@
+"""F7 — Figure 7: CDF of the number of concurrent zombie outbreaks."""
+
+from repro.experiments import build_figure7
+
+
+def test_bench_figure7(benchmark, replication_2018):
+    data = benchmark.pedantic(build_figure7, args=(replication_2018,),
+                              iterations=1, rounds=3)
+    stats = data.without_dc
+    assert not stats.cdf_v6.is_empty
+    # Session-level wedges infect every beacon of a family at once, so
+    # high concurrency exists (paper: ~27% of IPv4 outbreaks hit all
+    # beacons simultaneously).
+    assert stats.cdf_v6.xs[-1] >= 10
+    print()
+    print(f"v6 concurrency: max={stats.cdf_v6.xs[-1]:.0f} "
+          f"single={stats.single_fraction_v6:.1%}; "
+          f"v4 single={stats.single_fraction_v4:.1%}")

@@ -1,0 +1,108 @@
+"""Substrate micro-benchmarks: MRT codec, archive I/O, state
+reconstruction, and raw simulator throughput."""
+
+import pytest
+
+from repro.bgp import (
+    Aggregator,
+    Announcement,
+    ASPath,
+    PathAttributes,
+    UpdateRecord,
+    Withdrawal,
+)
+from repro.core import StateReconstructor
+from repro.mrt import (
+    decode_bgp4mp,
+    decode_mrt_header,
+    encode_update_record,
+    read_updates_file,
+    write_updates_file,
+)
+from repro.net import Prefix
+from repro.simulator import BGPWorld
+from repro.topology import TopologyConfig, build_internet
+from repro.utils.timeutil import ts
+
+
+def _make_records(count):
+    attrs = PathAttributes(as_path=ASPath.of(25091, 8298, 210312),
+                           next_hop="2001:db8::1",
+                           aggregator=Aggregator(210312, "10.1.2.3"))
+    records = []
+    for index in range(count):
+        prefix = Prefix(f"2a0d:3dc1:{(index % 4096) + 1:x}::/48")
+        if index % 3 == 2:
+            message = Withdrawal(prefix)
+        else:
+            message = Announcement(prefix, attrs)
+        records.append(UpdateRecord(1_700_000_000 + index, "rrc00",
+                                    "2001:db8::2", 25091, message))
+    return records
+
+
+def test_bench_mrt_encode(benchmark):
+    records = _make_records(1000)
+
+    def encode():
+        return sum(len(encode_update_record(record)) for record in records)
+
+    total = benchmark(encode)
+    assert total > 0
+
+
+def test_bench_mrt_decode(benchmark):
+    records = _make_records(1000)
+    blobs = [encode_update_record(record) for record in records]
+
+    def decode():
+        out = 0
+        for blob in blobs:
+            header = decode_mrt_header(blob)
+            out += len(decode_bgp4mp(header, blob[12:], "rrc00"))
+        return out
+
+    count = benchmark(decode)
+    assert count == 1000
+
+
+def test_bench_archive_roundtrip(benchmark, tmp_path):
+    records = _make_records(2000)
+
+    def roundtrip():
+        path = tmp_path / "updates.gz"
+        write_updates_file(path, records, sort=False)
+        return sum(1 for _ in read_updates_file(path, "rrc00"))
+
+    count = benchmark.pedantic(roundtrip, iterations=1, rounds=3)
+    assert count == 2000
+
+
+def test_bench_state_reconstruction(benchmark):
+    records = _make_records(5000)
+
+    def reconstruct():
+        state = StateReconstructor(records)
+        prefix = Prefix("2a0d:3dc1:1::/48")
+        return state.state_at(("rrc00", "2001:db8::2"), prefix,
+                              1_700_000_000 + 10 ** 6)
+
+    benchmark.pedantic(reconstruct, iterations=1, rounds=3)
+
+
+def test_bench_simulator_throughput(benchmark):
+    """Events per announce/withdraw cycle over a mid-size Internet."""
+    topology = build_internet(TopologyConfig(seed=5, n_tier2=20, n_stub=120))
+
+    def cycle():
+        world = BGPWorld(topology, seed=6, start_time=0.0)
+        origin = world.routers[210312]
+        prefix = Prefix("2a0d:3dc1:1145::/48")
+        attrs = world.beacon_attributes(210312, 0)
+        world.engine.schedule(1.0, lambda: origin.originate(prefix, attrs))
+        world.engine.schedule(900.0, lambda: origin.withdraw_origin(prefix))
+        world.run_until_idle()
+        return world.engine.processed
+
+    events = benchmark.pedantic(cycle, iterations=1, rounds=3)
+    assert events > 100

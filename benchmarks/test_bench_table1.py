@@ -1,0 +1,21 @@
+"""T1 — Table 1: zombie outbreaks with vs without double-counting.
+
+Regenerates the paper's Table 1 rows over the three replication periods
+and times the with/without-dedup detection pair.
+"""
+
+from repro.experiments import build_table1, render_table1
+
+
+def test_bench_table1(benchmark, replication_all):
+    rows = benchmark.pedantic(build_table1, args=(replication_all,),
+                              iterations=1, rounds=3)
+    assert len(rows) == 3
+    for row in rows:
+        assert row.without_dc_v4 <= row.with_dc_v4
+        assert row.without_dc_v6 <= row.with_dc_v6
+    # The 2018 period shows the strongest IPv4 reduction (paper: 57.8%).
+    by_period = {row.period: row for row in rows}
+    assert by_period["2018"].reduction_v4 > 0.2
+    print()
+    print(render_table1(rows))

@@ -1,0 +1,15 @@
+"""T2 — Table 2: previous-study ("Study") counts vs our estimates."""
+
+from repro.experiments import build_table2, render_table2
+
+
+def test_bench_table2(benchmark, replication_all):
+    rows = benchmark.pedantic(build_table2, args=(replication_all,),
+                              iterations=1, rounds=3)
+    assert len(rows) == 3
+    for row in rows:
+        # The legacy pipeline's numbers must differ from ours in at
+        # least one family (the paper's headline discrepancy).
+        assert (row.study_v4, row.study_v6) != (row.with_dc_v4, row.with_dc_v6)
+    print()
+    print(render_table2(rows))

@@ -1,0 +1,18 @@
+"""T3 — Table 3: missing zombie routes/outbreaks in both directions."""
+
+from repro.experiments import build_table3, render_table3
+
+
+def test_bench_table3(benchmark, replication_all):
+    result = benchmark.pedantic(build_table3, args=(replication_all,),
+                                iterations=1, rounds=3)
+    ours_missing = result.ours_missing_routes_v4 + result.ours_missing_routes_v6
+    study_missing = (result.study_missing_routes_v4
+                     + result.study_missing_routes_v6)
+    # Paper Table 3: each side misses routes the other reports, and our
+    # (interval-isolated) side misses more.
+    assert ours_missing > 0
+    assert study_missing > 0
+    assert ours_missing > study_missing
+    print()
+    print(render_table3(result))

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Reproduce the paper's §5 headline results from the 2024 beacon
+campaign: the Fig. 2 threshold sweep (with the resurrection uptick),
+Table 5's noisy peers, the Fig. 3 duration tail, the Fig. 4 resurrection
+timeline, and both §5.2 case studies.
+
+Run:  python examples/beacon_campaign.py [--full]
+
+``--full`` simulates the complete 18-day campaign at paper scale
+(a few minutes); the default quick preset takes ~10 seconds.
+"""
+
+import sys
+import time
+
+from repro.experiments import (
+    build_figure2,
+    build_figure3,
+    build_figure4,
+    build_paper_cases,
+    build_table5,
+    campaign_run,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_table5,
+)
+from repro.experiments.cases import render_case
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    started = time.time()
+    run = campaign_run(quick=not full)
+    print(f"campaign simulated in {time.time() - started:.1f}s: "
+          f"{run.announcement_count} beacon announcements, "
+          f"{len(run.records)} RIS records, {len(run.peers)} peer routers")
+
+    print()
+    print(render_figure2(build_figure2(
+        run, thresholds_minutes=(90, 100, 120, 140, 160, 170, 175, 180))))
+
+    print()
+    print(render_table5(build_table5(run)))
+
+    print()
+    print(render_figure3(build_figure3(run)))
+
+    print()
+    print(render_figure4(build_figure4(run)))
+
+    print()
+    cases = build_paper_cases(run)
+    print(render_case("impactful zombie  (paper §5.2)", cases["impactful"]))
+    print(render_case("long-lived zombie (paper §5.2)", cases["long_lived"]))
+
+
+if __name__ == "__main__":
+    main()

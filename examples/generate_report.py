@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run and print a
+paper-vs-measured report (the source of EXPERIMENTS.md).
+
+Run:  python examples/generate_report.py [--quick] [--days N]
+
+Default: the full 18-day campaign at paper scale plus three replication
+periods truncated to N days (default 6) — several minutes of CPU.
+Equivalent to ``python -m repro report``.
+"""
+
+import sys
+
+from repro.reporting import generate
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    days = 6
+    if "--days" in sys.argv:
+        days = int(sys.argv[sys.argv.index("--days") + 1])
+    generate(quick=quick, days=days)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: create a BGP zombie and detect it.
+
+Builds a five-AS Internet, announces and withdraws a beacon prefix,
+injects a withdrawal suppression on one link (the canonical zombie
+mechanism), and runs the paper's revised detector over the recorded
+RIS stream.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.beacons import BeaconInterval
+from repro.core import DetectorConfig, ZombieDetector, infer_root_cause
+from repro.net import Prefix
+from repro.ris import RISPeer
+from repro.simulator import BGPWorld, FaultPlan, WithdrawalSuppression
+from repro.topology import ASTopology
+from repro.utils.timeutil import MINUTE, ts
+
+
+def build_topology() -> ASTopology:
+    """origin 210312 <- 8298 <- 25091 <- 33891 <- two stub peers."""
+    topo = ASTopology()
+    for asn in (210312, 8298, 25091, 33891, 64801, 64802):
+        topo.add_as(asn)
+    topo.add_provider_customer(8298, 210312)
+    topo.add_provider_customer(25091, 8298)
+    topo.add_provider_customer(33891, 25091)
+    topo.add_provider_customer(33891, 64801)
+    topo.add_provider_customer(33891, 64802)
+    return topo
+
+
+def main() -> None:
+    announce_at = ts(2024, 6, 18, 22, 30)
+    withdraw_at = announce_at + 15 * MINUTE
+    prefix = Prefix("2a0d:3dc1:2233::/48")
+
+    # The fault: AS25091 never propagates the withdrawal to AS33891.
+    plan = FaultPlan([WithdrawalSuppression(
+        src=25091, dst=33891, start=withdraw_at - 60, end=withdraw_at + 3600)])
+
+    world = BGPWorld(build_topology(), seed=42, fault_plan=plan,
+                     start_time=announce_at - 3600)
+
+    # Two RIS peer routers feed collector rrc00.
+    for asn in (64801, 64802):
+        world.attach_tap(RISPeer("rrc00", f"2001:db8:{asn:x}::1", asn))
+
+    # Drive the beacon: announce, then withdraw 15 minutes later.
+    origin = world.routers[210312]
+    attrs = world.beacon_attributes(210312, announce_at)
+    world.engine.schedule(announce_at, lambda: origin.originate(prefix, attrs))
+    world.engine.schedule(withdraw_at, lambda: origin.withdraw_origin(prefix))
+    world.run_until(withdraw_at + 4 * 3600)
+
+    # Detect: is the prefix still present at any peer 90 minutes after
+    # the withdrawal?
+    interval = BeaconInterval(prefix=prefix, announce_time=announce_at,
+                              withdraw_time=withdraw_at, origin_asn=210312)
+    detector = ZombieDetector(DetectorConfig(threshold=90 * MINUTE))
+    result = detector.detect(world.sorted_records(), [interval])
+
+    print(f"beacon announcements observed: {result.visible_count}")
+    print(f"zombie outbreaks detected:     {result.outbreak_count}")
+    for outbreak in result.outbreaks:
+        print(f"\n{outbreak}")
+        for route in outbreak.routes:
+            print(f"  {route}")
+            print(f"    stuck path: {route.zombie_path}")
+        subpath = " ".join(str(asn) for asn in outbreak.common_subpath())
+        print(f"  common subpath: {subpath}")
+        inference = infer_root_cause(outbreak, origin_asn=210312)
+        print(f"  suspected root cause: AS{inference.suspect}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Fig. 1: the data-plane impact of a zombie.
+
+AS1 sells its covering /32 to AS2 and withdraws the /48 it used to
+announce; the withdrawal never fully propagates, leaving a zombie /48 in
+a dominant AS.  Longest-prefix matching then pulls traffic for the /48
+along the stale route — a forwarding loop and a partial outage for the
+new owner, exactly as Fig. 1 narrates.
+
+Run:  python examples/traffic_impact.py
+"""
+
+from repro.dataplane import HopOutcome, assess_impact, fig1_scenario_outcomes
+from repro.net import Prefix
+from repro.simulator import BGPWorld, FaultPlan, WithdrawalSuppression
+from repro.topology import ASTopology
+
+AS1, ASX, AS3, AS2, ASY = 65001, 65002, 65003, 65004, 65005
+
+
+def build_world():
+    topo = ASTopology()
+    for asn in (AS1, ASX, AS3, AS2, ASY):
+        topo.add_as(asn)
+    topo.add_provider_customer(ASX, AS1)   # AS1's upstream
+    topo.add_provider_customer(AS3, ASX)   # dominant AS3 above ASX
+    topo.add_provider_customer(AS3, AS2)   # the new /32 owner
+    topo.add_provider_customer(AS3, ASY)   # the user's network
+    # Step 2-3: ASX fails to propagate the withdrawal to AS3.
+    plan = FaultPlan([WithdrawalSuppression(src=ASX, dst=AS3,
+                                            start=0, end=10 ** 9)])
+    return BGPWorld(topo, seed=1, fault_plan=plan)
+
+
+def main() -> None:
+    covering = Prefix("2001:db8::/32")
+    covered = Prefix("2001:db8::/48")
+    world = build_world()
+
+    r1, r2 = world.routers[AS1], world.routers[AS2]
+    world.engine.schedule(1.0, lambda: r1.originate(
+        covered, world.beacon_attributes(AS1, 0)))
+    # Step 1: AS1 stops advertising the /48...
+    world.engine.schedule(600.0, lambda: r1.withdraw_origin(covered))
+    # Step 4: ...and AS2 starts announcing the /32.
+    world.engine.schedule(900.0, lambda: r2.originate(
+        covering, world.beacon_attributes(AS2, 0)))
+    world.run_until(7200)
+
+    print(f"zombie /48 still in AS{AS3}'s table: "
+          f"{world.routers[AS3].has_route(covered)}")
+
+    # Steps 6-7: ASY sends traffic to 2001:db8::1.
+    outcomes = fig1_scenario_outcomes(world, covering, covered, [ASY, AS2])
+    for source, walk in outcomes.items():
+        print(f"\ntraffic from AS{source}: {walk}")
+
+    report = assess_impact(world, covered)
+    print(f"\nimpact across all {report.total} ASes: "
+          f"{report.count(HopOutcome.LOOPED)} looped, "
+          f"{report.count(HopOutcome.BLACKHOLED)} blackholed, "
+          f"{report.count(HopOutcome.DELIVERED)} delivered "
+          f"({report.affected_fraction:.0%} actively misrouted)")
+
+
+if __name__ == "__main__":
+    main()

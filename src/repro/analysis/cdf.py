@@ -1,0 +1,76 @@
+"""Empirical CDF helper used by every figure builder."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["ECDF"]
+
+
+@dataclass(frozen=True)
+class ECDF:
+    """An empirical cumulative distribution function.
+
+    >>> cdf = ECDF.from_values([1, 2, 2, 4])
+    >>> cdf.at(2)
+    0.75
+    >>> cdf.quantile(0.5)
+    2.0
+    """
+
+    xs: tuple[float, ...]
+    ps: tuple[float, ...]
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "ECDF":
+        data = sorted(float(v) for v in values)
+        if not data:
+            return cls((), ())
+        n = len(data)
+        xs: list[float] = []
+        ps: list[float] = []
+        for index, value in enumerate(data, start=1):
+            if xs and xs[-1] == value:
+                ps[-1] = index / n
+            else:
+                xs.append(value)
+                ps.append(index / n)
+        return cls(tuple(xs), tuple(ps))
+
+    @property
+    def n_points(self) -> int:
+        return len(self.xs)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.xs
+
+    def at(self, x: float) -> float:
+        """P(X <= x)."""
+        if self.is_empty:
+            return 0.0
+        index = bisect.bisect_right(self.xs, x)
+        return self.ps[index - 1] if index else 0.0
+
+    def quantile(self, p: float) -> float:
+        """Smallest x with CDF(x) >= p."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        if self.is_empty:
+            raise ValueError("empty ECDF has no quantiles")
+        index = bisect.bisect_left(self.ps, p)
+        return self.xs[min(index, len(self.xs) - 1)]
+
+    def mean(self) -> float:
+        if self.is_empty:
+            raise ValueError("empty ECDF has no mean")
+        weights = np.diff(np.concatenate(([0.0], np.asarray(self.ps))))
+        return float(np.dot(self.xs, weights))
+
+    def series(self) -> list[tuple[float, float]]:
+        """(x, p) pairs suitable for plotting/printing."""
+        return list(zip(self.xs, self.ps))

@@ -1,0 +1,104 @@
+"""AS-path length analysis (paper Fig. 6, Appendix B.2).
+
+Compares three distributions:
+
+* **normal path (normal peer)** — the path a peer held just before the
+  beacon withdrawal, at peers that withdrew correctly;
+* **normal path (zombie peer)** — the pre-withdrawal path at peers that
+  got stuck;
+* **zombie path** — the stuck path at detection time.
+
+The paper's finding: zombie paths are longer (they emerge from path
+hunting, i.e. routes BGP had *not* initially selected), and most zombie
+paths differ from the pre-withdrawal path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.cdf import ECDF
+from repro.beacons.schedule import BeaconInterval
+from repro.bgp.messages import Record, UpdateRecord
+from repro.core.detector import DetectionResult
+from repro.core.state import PeerKey, StateReconstructor
+
+__all__ = ["PathLengthStats", "path_length_analysis"]
+
+
+@dataclass(frozen=True)
+class PathLengthStats:
+    """Fig. 6's three CDFs plus the changed-path fraction."""
+
+    normal_at_normal_peers: ECDF
+    normal_at_zombie_peers: ECDF
+    zombie_paths: ECDF
+    #: fraction of zombie routes whose stuck path differs from the
+    #: pre-withdrawal path at the same peer (the paper's 96.1 % / 90.03 %).
+    changed_path_fraction: float
+
+
+def path_length_analysis(records: Sequence[Record],
+                         result: DetectionResult) -> PathLengthStats:
+    """Build Fig. 6's distributions for one detection run.
+
+    ``records`` must be the same stream the detector consumed (the
+    pre-withdrawal paths are reconstructed from it).
+    """
+    by_prefix: dict = {}
+    for record in records:
+        if isinstance(record, UpdateRecord):
+            by_prefix.setdefault(record.prefix, []).append(record)
+
+    zombie_peers_by_interval: dict[BeaconInterval, dict[PeerKey, int]] = {}
+    for outbreak in result.outbreaks:
+        zombie_peers_by_interval[outbreak.interval] = {
+            route.peer: len(route.zombie_path) if route.zombie_path else 0
+            for route in outbreak.routes}
+
+    normal_normal: list[int] = []
+    normal_zombie: list[int] = []
+    zombie_lengths: list[int] = []
+    changed = 0
+    total_zombies = 0
+
+    for interval in result.visible_intervals:
+        window = [r for r in by_prefix.get(interval.prefix, ())
+                  if interval.announce_time <= r.timestamp
+                  <= interval.withdraw_time]
+        state = StateReconstructor(window)
+        zombie_peers = zombie_peers_by_interval.get(interval, {})
+        for key in state.peers():
+            announcement = state.last_announcement(key, interval.prefix,
+                                                   interval.withdraw_time)
+            if announcement is None:
+                continue
+            normal_len = len(announcement.attributes.as_path)
+            if key in zombie_peers:
+                normal_zombie.append(normal_len)
+            else:
+                normal_normal.append(normal_len)
+
+    for outbreak in result.outbreaks:
+        window = [r for r in by_prefix.get(outbreak.prefix, ())
+                  if outbreak.interval.announce_time <= r.timestamp
+                  <= outbreak.interval.withdraw_time]
+        state = StateReconstructor(window)
+        for route in outbreak.routes:
+            path = route.zombie_path
+            if path is None:
+                continue
+            total_zombies += 1
+            zombie_lengths.append(len(path))
+            normal = state.last_announcement(route.peer, outbreak.prefix,
+                                             outbreak.interval.withdraw_time)
+            if normal is None or normal.attributes.as_path != path:
+                changed += 1
+
+    return PathLengthStats(
+        normal_at_normal_peers=ECDF.from_values(normal_normal),
+        normal_at_zombie_peers=ECDF.from_values(normal_zombie),
+        zombie_paths=ECDF.from_values(zombie_lengths),
+        changed_path_fraction=(changed / total_zombies) if total_zombies else 0.0,
+    )

@@ -1,0 +1,103 @@
+"""Root-cause AS characterization (the paper's stated future work:
+"the improvement of the root cause AS inference algorithm and the
+characterization of root cause ASes").
+
+Aggregates palm-tree inferences across many outbreaks into per-suspect
+profiles: how often an AS is implicated, how many peers/prefixes it
+affected, how large its customer cone is (the paper's impact proxy),
+and a confidence score reflecting how unambiguous the inference was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.outbreaks import ZombieOutbreak
+from repro.core.rootcause import RootCauseInference, infer_root_cause
+from repro.net.prefix import Prefix
+from repro.topology.graph import ASTopology
+
+__all__ = ["SuspectProfile", "characterize_suspects", "inference_confidence"]
+
+
+def inference_confidence(inference: RootCauseInference) -> float:
+    """How trustworthy one palm-tree inference is, in [0, 1].
+
+    Heuristics follow the paper's caveats: confidence grows with the
+    number of independent zombie paths agreeing on the trunk, and drops
+    when the trunk is trivial (branching right at the origin — nothing
+    to blame) or when only one path exists (the "previous AS may be the
+    real culprit" ambiguity)."""
+    if inference.suspect is None:
+        return 0.0
+    paths = inference.outbreak.zombie_paths()
+    n_paths = len(paths)
+    if n_paths == 0:
+        return 0.0
+    agreeing = sum(1 for path in paths
+                   if path.has_subpath(inference.tree.trunk[::-1]))
+    agreement = agreeing / n_paths
+    multiplicity = min(1.0, n_paths / 4.0)  # 4+ witnesses ≈ full weight
+    return agreement * (0.5 + 0.5 * multiplicity)
+
+
+@dataclass
+class SuspectProfile:
+    """Aggregate behaviour of one suspected root-cause AS."""
+
+    asn: int
+    outbreak_count: int = 0
+    prefixes: set[Prefix] = field(default_factory=set)
+    affected_peer_asns: set[int] = field(default_factory=set)
+    total_zombie_routes: int = 0
+    confidence_sum: float = 0.0
+    customer_cone_size: int = 0
+    is_stub: bool = False
+
+    @property
+    def mean_confidence(self) -> float:
+        return (self.confidence_sum / self.outbreak_count
+                if self.outbreak_count else 0.0)
+
+    @property
+    def impact_score(self) -> float:
+        """The paper's impact framing: repeat offenders with large cones
+        affecting many peers score highest."""
+        return (self.outbreak_count
+                * max(1, len(self.affected_peer_asns))
+                * max(1, self.customer_cone_size))
+
+    def __str__(self) -> str:
+        return (f"AS{self.asn}: {self.outbreak_count} outbreaks, "
+                f"{len(self.prefixes)} prefixes, "
+                f"{len(self.affected_peer_asns)} peer ASes affected, "
+                f"cone {self.customer_cone_size}, "
+                f"confidence {self.mean_confidence:.2f}")
+
+
+def characterize_suspects(outbreaks: Iterable[ZombieOutbreak],
+                          origin_asn: int,
+                          topology: Optional[ASTopology] = None
+                          ) -> list[SuspectProfile]:
+    """Profile every suspected root-cause AS over a set of outbreaks,
+    ranked by impact score (descending)."""
+    profiles: dict[int, SuspectProfile] = {}
+    for outbreak in outbreaks:
+        inference = infer_root_cause(outbreak, origin_asn)
+        suspect = inference.suspect
+        if suspect is None:
+            continue
+        profile = profiles.get(suspect)
+        if profile is None:
+            profile = profiles[suspect] = SuspectProfile(asn=suspect)
+            if topology is not None and suspect in topology:
+                profile.customer_cone_size = topology.customer_cone_size(suspect)
+                profile.is_stub = topology.is_stub(suspect)
+        profile.outbreak_count += 1
+        profile.prefixes.add(outbreak.prefix)
+        profile.affected_peer_asns.update(outbreak.peer_asns)
+        profile.total_zombie_routes += outbreak.size
+        profile.confidence_sum += inference_confidence(inference)
+    return sorted(profiles.values(),
+                  key=lambda p: (-p.impact_score, p.asn))

@@ -1,0 +1,104 @@
+"""The long-term beacon service (paper §6).
+
+Operators asked for "continued operation of our beacons"; this module
+plans such a service: a combined IPv6 + IPv4 schedule with the RPKI
+ROAs the announcements need, ground-truth lookup for detectors, and a
+coverage self-check (no two live beacons may share a prefix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.beacons.ipv4_clock import IPv4BeaconClock, IPv4BeaconSchedule
+from repro.beacons.schedule import BeaconInterval, BeaconSchedule
+from repro.beacons.zombie_beacons import (
+    BEACON_ORIGIN_ASN,
+    BEACON_SUPER_PREFIX,
+    RecycleApproach,
+    ZombieBeaconSchedule,
+)
+from repro.net.prefix import Prefix
+from repro.simulator.rpki import ROA
+
+__all__ = ["BeaconServiceConfig", "BeaconService"]
+
+
+@dataclass(frozen=True)
+class BeaconServiceConfig:
+    """What the service announces."""
+
+    origin_asn: int = BEACON_ORIGIN_ASN
+    v6_pool: Prefix = BEACON_SUPER_PREFIX
+    v6_approach: RecycleApproach = RecycleApproach.FIFTEEN_DAYS
+    #: optional IPv4 pool (None: IPv6-only, as the paper had to run).
+    v4_pool: Optional[Prefix] = None
+
+    def __post_init__(self):
+        if not self.v6_pool.is_ipv6:
+            raise ValueError("v6_pool must be IPv6")
+        if self.v4_pool is not None and not self.v4_pool.is_ipv4:
+            raise ValueError("v4_pool must be IPv4")
+
+
+class BeaconService(BeaconSchedule):
+    """A combined, ROA-backed, long-running beacon schedule."""
+
+    def __init__(self, config: Optional[BeaconServiceConfig] = None):
+        self.config = config or BeaconServiceConfig()
+        self._v6 = ZombieBeaconSchedule(self.config.v6_approach,
+                                        self.config.origin_asn)
+        self._v4: Optional[IPv4BeaconSchedule] = None
+        if self.config.v4_pool is not None:
+            clock = IPv4BeaconClock(self.config.v4_pool)
+            self._v4 = IPv4BeaconSchedule(clock, self.config.origin_asn)
+
+    # -- schedule --------------------------------------------------------
+
+    def intervals(self, start: int, end: int) -> Iterator[BeaconInterval]:
+        merged = list(self._v6.intervals(start, end))
+        if self._v4 is not None:
+            merged.extend(self._v4.intervals(start, end))
+        merged.sort(key=lambda i: (i.announce_time, str(i.prefix)))
+        yield from merged
+
+    # -- RPKI ------------------------------------------------------------------
+
+    def required_roas(self, valid_from: int = 0) -> list[ROA]:
+        """The ROAs that keep every beacon announcement RPKI-valid."""
+        roas = [ROA(self.config.v6_pool, self.config.origin_asn,
+                    max_length=48, valid_from=valid_from)]
+        if self._v4 is not None:
+            roas.append(ROA(self.config.v4_pool, self.config.origin_asn,
+                            max_length=self._v4.clock.beacon_prefixlen,
+                            valid_from=valid_from))
+        return roas
+
+    # -- ground truth -----------------------------------------------------------
+
+    def final_withdrawals(self, start: int, end: int) -> dict[Prefix, int]:
+        """Prefix → last scheduled withdrawal in the window (the lifespan
+        tracker's ground-truth input)."""
+        out: dict[Prefix, int] = {}
+        for interval in self.intervals(start, end):
+            current = out.get(interval.prefix, 0)
+            out[interval.prefix] = max(current, interval.withdraw_time)
+        return out
+
+    def validate_window(self, start: int, end: int) -> list[str]:
+        """Self-check over a window: no two *kept* intervals of the same
+        prefix may overlap (they would corrupt lifespan ground truth)."""
+        problems = []
+        by_prefix: dict[Prefix, list[BeaconInterval]] = {}
+        for interval in self.intervals(start, end):
+            if not interval.discarded:
+                by_prefix.setdefault(interval.prefix, []).append(interval)
+        for prefix, intervals in by_prefix.items():
+            intervals.sort(key=lambda i: i.announce_time)
+            for earlier, later in zip(intervals, intervals[1:]):
+                if later.announce_time < earlier.withdraw_time:
+                    problems.append(
+                        f"{prefix}: overlapping intervals at "
+                        f"{earlier.announce_time} and {later.announce_time}")
+        return problems

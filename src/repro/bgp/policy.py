@@ -1,0 +1,80 @@
+"""Inter-domain routing policy: Gao-Rexford model.
+
+ASes prefer customer routes over peer routes over provider routes
+(economics), and export valley-free: routes learned from a peer or a
+provider are re-exported only to customers.  The simulator's route
+selection uses :func:`preference_rank` first, then AS-path length, then a
+deterministic tiebreak, mirroring the BGP decision process closely enough
+for withdrawal/path-hunting dynamics to emerge.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from repro.bgp.attributes import PathAttributes
+
+__all__ = ["Relationship", "preference_rank", "should_export", "compare_routes"]
+
+
+class Relationship(Enum):
+    """The business relationship of a neighbour, from the local AS's view."""
+
+    CUSTOMER = "customer"   # neighbour pays us
+    PEER = "peer"           # settlement-free
+    PROVIDER = "provider"   # we pay the neighbour
+
+    @property
+    def inverse(self) -> "Relationship":
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return Relationship.PEER
+
+
+#: Lower rank is more preferred (maps to LOCAL_PREF ordering).
+_PREFERENCE = {
+    Relationship.CUSTOMER: 0,
+    Relationship.PEER: 1,
+    Relationship.PROVIDER: 2,
+}
+
+
+def preference_rank(relationship: Relationship) -> int:
+    """Gao-Rexford local preference rank; lower wins."""
+    return _PREFERENCE[relationship]
+
+
+def should_export(learned_from: Optional[Relationship],
+                  export_to: Relationship) -> bool:
+    """Valley-free export rule.
+
+    ``learned_from`` is ``None`` for locally originated routes, which are
+    exported to everyone.  Routes learned from customers are exported to
+    everyone; routes learned from peers/providers go only to customers.
+    """
+    if learned_from is None or learned_from is Relationship.CUSTOMER:
+        return True
+    return export_to is Relationship.CUSTOMER
+
+
+def compare_routes(rel_a: Optional[Relationship], attrs_a: PathAttributes,
+                   rel_b: Optional[Relationship], attrs_b: PathAttributes,
+                   tiebreak_a: int, tiebreak_b: int) -> int:
+    """BGP decision process over two candidate routes.
+
+    Returns a negative number if route *a* wins, positive if *b* wins.
+    Order: local preference (relationship), AS-path length, then the
+    caller-supplied deterministic tiebreak (lowest neighbour id, standing
+    in for lowest router-id).  Locally originated routes (``rel`` None)
+    always beat learned routes.
+    """
+    pref_a = -1 if rel_a is None else preference_rank(rel_a)
+    pref_b = -1 if rel_b is None else preference_rank(rel_b)
+    if pref_a != pref_b:
+        return pref_a - pref_b
+    if len(attrs_a.as_path) != len(attrs_b.as_path):
+        return len(attrs_a.as_path) - len(attrs_b.as_path)
+    return tiebreak_a - tiebreak_b

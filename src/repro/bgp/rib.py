@@ -1,0 +1,90 @@
+"""Routing Information Base structures.
+
+:class:`Route` is the value stored against a prefix; :class:`AdjRIB`
+models a single Adj-RIB-In (one per neighbour inside a simulated router,
+and one per RIS peer inside the collector tap that produces the 8-hourly
+``bview`` dumps the lifespan analysis consumes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.bgp.attributes import PathAttributes
+from repro.net.prefix import Prefix
+
+__all__ = ["Route", "AdjRIB"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """A route as installed in a RIB: prefix + attributes + install time."""
+
+    prefix: Prefix
+    attributes: PathAttributes
+    installed_at: int
+
+    @property
+    def as_path(self):
+        return self.attributes.as_path
+
+    @property
+    def origin_as(self) -> int:
+        return self.attributes.origin_as
+
+    def __str__(self) -> str:
+        return f"{self.prefix} via [{self.attributes.as_path}] @{self.installed_at}"
+
+
+class AdjRIB:
+    """A per-neighbour RIB: the set of routes currently learned from one
+    BGP neighbour, with last-modification bookkeeping.
+
+    >>> rib = AdjRIB()
+    >>> rib.is_empty
+    True
+    """
+
+    def __init__(self):
+        self._routes: dict[Prefix, Route] = {}
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._routes
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._routes
+
+    def get(self, prefix: Prefix) -> Optional[Route]:
+        return self._routes.get(prefix)
+
+    def install(self, route: Route) -> Optional[Route]:
+        """Install/replace the route for its prefix; returns the evicted
+        route, if any (implicit withdrawal semantics)."""
+        previous = self._routes.get(route.prefix)
+        self._routes[route.prefix] = route
+        return previous
+
+    def remove(self, prefix: Prefix) -> Optional[Route]:
+        """Remove and return the route for ``prefix`` (None if absent)."""
+        return self._routes.pop(prefix, None)
+
+    def clear(self) -> list[Route]:
+        """Drop every route (session went down); returns what was lost."""
+        lost = list(self._routes.values())
+        self._routes.clear()
+        return lost
+
+    def prefixes(self) -> Iterator[Prefix]:
+        return iter(self._routes.keys())
+
+    def routes(self) -> Iterator[Route]:
+        return iter(self._routes.values())
+
+    def snapshot(self) -> dict[Prefix, Route]:
+        """A shallow copy of the current table (for RIB dumps)."""
+        return dict(self._routes)

@@ -1,0 +1,5 @@
+"""pybgpstream-compatible stream facade over the RIS archive."""
+
+from repro.bgpstream.stream import BGPElem, BGPStream, FilterError
+
+__all__ = ["BGPStream", "BGPElem", "FilterError"]

@@ -1,0 +1,218 @@
+"""pybgpstream-compatible facade over :class:`repro.ris.Archive`.
+
+The paper's pipeline is what a real deployment would write against
+pybgpstream; this module provides the same element interface so the
+detection code ports to live BGPStream unchanged:
+
+>>> stream = BGPStream(archive, from_time="2024-06-04 00:00",
+...                    until_time="2024-06-05 00:00",
+...                    record_type="updates",
+...                    filter="prefix more 2a0d:3dc1::/32")   # doctest: +SKIP
+>>> for elem in stream: ...                                   # doctest: +SKIP
+
+Supported filter terms (a practical subset of the BGPStream filter
+language): ``prefix exact P``, ``prefix more P`` (P and more specifics),
+``peer A``, ``collector C``, ``ipversion 4|6``, ``type updates|withdrawals
+|announcements``, joined by ``and``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.bgp.messages import StateRecord, UpdateRecord
+from repro.net.prefix import Prefix
+from repro.ris.archive import Archive
+from repro.utils.timeutil import from_iso
+
+__all__ = ["BGPStream", "BGPElem", "FilterError"]
+
+
+class FilterError(ValueError):
+    """The filter string could not be parsed."""
+
+
+@dataclass(frozen=True)
+class BGPElem:
+    """One stream element, mirroring pybgpstream's ``BGPElem``.
+
+    ``type`` is ``"A"`` (announcement), ``"W"`` (withdrawal), ``"S"``
+    (peer state change) or ``"R"`` (RIB row).  Route details live in
+    ``fields`` under pybgpstream's key names (``prefix``, ``as-path``,
+    ``next-hop``, ``communities``).
+    """
+
+    type: str
+    time: int
+    collector: str
+    peer_asn: int
+    peer_address: str
+    fields: dict = field(default_factory=dict)
+
+    @property
+    def prefix(self) -> Optional[Prefix]:
+        raw = self.fields.get("prefix")
+        return Prefix(raw) if raw is not None else None
+
+    @property
+    def as_path(self) -> Optional[str]:
+        return self.fields.get("as-path")
+
+
+class _Filter:
+    """Parsed filter string."""
+
+    def __init__(self, text: Optional[str]):
+        self.prefix_exact: Optional[Prefix] = None
+        self.prefix_more: Optional[Prefix] = None
+        self.peers: set[int] = set()
+        self.collectors: set[str] = set()
+        self.ipversion: Optional[int] = None
+        self.elem_types: set[str] = set()
+        if text:
+            self._parse(text)
+
+    def _parse(self, text: str) -> None:
+        for clause in text.split(" and "):
+            tokens = clause.split()
+            if not tokens:
+                continue
+            keyword = tokens[0]
+            try:
+                if keyword == "prefix":
+                    mode, value = tokens[1], tokens[2]
+                    if mode == "exact":
+                        self.prefix_exact = Prefix(value)
+                    elif mode == "more":
+                        self.prefix_more = Prefix(value)
+                    else:
+                        raise FilterError(f"unknown prefix mode {mode!r}")
+                elif keyword == "peer":
+                    self.peers.update(int(t) for t in tokens[1:])
+                elif keyword == "collector":
+                    self.collectors.update(tokens[1:])
+                elif keyword == "ipversion":
+                    self.ipversion = int(tokens[1])
+                elif keyword == "type":
+                    mapping = {"updates": {"A", "W"}, "announcements": {"A"},
+                               "withdrawals": {"W"}}
+                    self.elem_types.update(mapping[tokens[1]])
+                else:
+                    raise FilterError(f"unknown filter keyword {keyword!r}")
+            except (IndexError, ValueError, KeyError) as exc:
+                if isinstance(exc, FilterError):
+                    raise
+                raise FilterError(f"cannot parse clause {clause!r}") from exc
+
+    def match_prefix(self, prefix: Prefix) -> bool:
+        if self.ipversion == 4 and not prefix.is_ipv4:
+            return False
+        if self.ipversion == 6 and not prefix.is_ipv6:
+            return False
+        if self.prefix_exact is not None and prefix != self.prefix_exact:
+            return False
+        if self.prefix_more is not None and not self.prefix_more.contains(prefix):
+            return False
+        return True
+
+    def match_elem(self, elem: BGPElem) -> bool:
+        if self.elem_types and elem.type not in self.elem_types:
+            return False
+        if self.peers and elem.peer_asn not in self.peers:
+            return False
+        if self.collectors and elem.collector not in self.collectors:
+            return False
+        if elem.type in ("A", "W", "R"):
+            return self.match_prefix(Prefix(elem.fields["prefix"]))
+        # State elems carry no prefix: they cannot match a prefix clause.
+        has_prefix_clause = (self.prefix_exact is not None
+                             or self.prefix_more is not None
+                             or self.ipversion is not None)
+        return not has_prefix_clause
+
+
+class BGPStream:
+    """Iterate archive data as :class:`BGPElem` objects."""
+
+    def __init__(self, archive: Union[Archive, str],
+                 from_time: Union[int, str],
+                 until_time: Union[int, str],
+                 collectors: Optional[Sequence[str]] = None,
+                 record_type: str = "updates",
+                 filter: Optional[str] = None):
+        self.archive = archive if isinstance(archive, Archive) else Archive(archive)
+        self.from_time = from_time if isinstance(from_time, int) else from_iso(from_time)
+        self.until_time = until_time if isinstance(until_time, int) else from_iso(until_time)
+        if record_type not in ("updates", "ribs"):
+            raise ValueError(f"record_type must be 'updates' or 'ribs', got {record_type!r}")
+        self.record_type = record_type
+        self.collectors = list(collectors) if collectors else None
+        self._filter = _Filter(filter)
+        if self.collectors is None and self._filter.collectors:
+            self.collectors = sorted(self._filter.collectors)
+
+    def __iter__(self) -> Iterator[BGPElem]:
+        if self.record_type == "updates":
+            yield from self._iter_updates()
+        else:
+            yield from self._iter_ribs()
+
+    def _iter_updates(self) -> Iterator[BGPElem]:
+        for record in self.archive.iter_updates(self.from_time, self.until_time,
+                                                self.collectors):
+            elem = _record_to_elem(record)
+            if self._filter.match_elem(elem):
+                yield elem
+
+    def _iter_ribs(self) -> Iterator[BGPElem]:
+        for dump in self.archive.iter_ribs(self.from_time, self.until_time,
+                                           self.collectors):
+            for prefix in sorted(dump.entries.keys()):
+                for peer, entry in dump.routes_for(prefix):
+                    elem = BGPElem(
+                        type="R",
+                        time=dump.timestamp,
+                        collector=dump.collector,
+                        peer_asn=peer.asn,
+                        peer_address=peer.address,
+                        fields={
+                            "prefix": str(prefix),
+                            "as-path": str(entry.attributes.as_path),
+                            "next-hop": entry.attributes.next_hop,
+                            "originated": entry.originated_time,
+                        },
+                    )
+                    if self._filter.match_elem(elem):
+                        yield elem
+
+
+def _record_to_elem(record) -> BGPElem:
+    if isinstance(record, StateRecord):
+        return BGPElem(
+            type="S",
+            time=record.timestamp,
+            collector=record.collector,
+            peer_asn=record.peer_asn,
+            peer_address=record.peer_address,
+            fields={"old-state": record.old_state.name.lower(),
+                    "new-state": record.new_state.name.lower()},
+        )
+    assert isinstance(record, UpdateRecord)
+    fields = {"prefix": str(record.prefix)}
+    if record.is_announcement:
+        attrs = record.attributes
+        fields["as-path"] = str(attrs.as_path)
+        fields["next-hop"] = attrs.next_hop
+        if attrs.communities:
+            fields["communities"] = attrs.community_strings()
+        if attrs.aggregator is not None:
+            fields["aggregator"] = str(attrs.aggregator)
+    return BGPElem(
+        type="A" if record.is_announcement else "W",
+        time=record.timestamp,
+        collector=record.collector,
+        peer_asn=record.peer_asn,
+        peer_address=record.peer_address,
+        fields=fields,
+    )

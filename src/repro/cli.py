@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``report``       regenerate every table/figure (paper-vs-measured text)
+``campaign``     run the 2024 beacon campaign and print §5 results
+``replication``  run the §3 replication periods and print Tables 1-4
+``detect``       run the revised detector over an on-disk RIS archive
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A First Look into Long-lived BGP "
+                    "Zombies' (IMC 2025)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="regenerate all tables/figures")
+    report.add_argument("--quick", action="store_true",
+                        help="small world and short windows (~30 s)")
+    report.add_argument("--days", type=int, default=6,
+                        help="days per replication period (default 6)")
+
+    campaign = sub.add_parser("campaign", help="2024 beacon campaign (§5)")
+    campaign.add_argument("--full", action="store_true",
+                          help="full 18-day campaign at paper scale")
+
+    replication = sub.add_parser("replication",
+                                 help="replication of the previous study (§3)")
+    replication.add_argument("--days", type=int, default=5)
+    replication.add_argument("--period", choices=["2018", "2017-oct",
+                                                  "2017-mar", "all"],
+                             default="all")
+
+    detect = sub.add_parser(
+        "detect", help="detect zombies in an on-disk RIS archive")
+    detect.add_argument("archive", help="archive root directory")
+    detect.add_argument("--from-time", required=True,
+                        help="window start, e.g. '2024-06-04 00:00'")
+    detect.add_argument("--until-time", required=True)
+    detect.add_argument("--beacons", choices=["ris", "zombie-24h",
+                                              "zombie-15d", "campaign"],
+                        default="campaign",
+                        help="which beacon schedule defines the intervals")
+    detect.add_argument("--threshold-minutes", type=int, default=90)
+    detect.add_argument("--no-dedup", action="store_true",
+                        help="disable Aggregator double-count elimination")
+    return parser
+
+
+def _cmd_report(args) -> int:
+    from repro.reporting import generate
+
+    generate(quick=args.quick, days=args.days)
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from repro.experiments import (
+        build_figure2,
+        build_figure3,
+        build_table5,
+        campaign_run,
+        render_figure2,
+        render_figure3,
+        render_table5,
+    )
+
+    run = campaign_run(quick=not args.full)
+    print(f"{run.announcement_count} announcements, "
+          f"{len(run.records)} records")
+    print(render_figure2(build_figure2(
+        run, thresholds_minutes=(90, 120, 150, 170, 175, 180))))
+    print(render_table5(build_table5(run)))
+    print(render_figure3(build_figure3(run)))
+    return 0
+
+
+def _cmd_replication(args) -> int:
+    from repro.experiments import (
+        build_table1,
+        build_table2,
+        build_table4,
+        render_table1,
+        render_table2,
+        render_table4,
+        replication_run,
+        replication_runs,
+    )
+
+    if args.period == "all":
+        runs = replication_runs(days=args.days)
+    else:
+        runs = [replication_run(args.period, days=args.days)]
+    print(render_table1(build_table1(runs)))
+    print(render_table2(build_table2(runs)))
+    for run in runs:
+        if run.config.name == "2018":
+            print(render_table4(build_table4(run)))
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    from repro.beacons import (
+        PaperCampaign,
+        RecycleApproach,
+        RISBeaconSchedule,
+        ZombieBeaconSchedule,
+    )
+    from repro.core import DetectorConfig, ZombieDetector
+    from repro.ris import Archive
+    from repro.utils.timeutil import MINUTE, from_iso
+
+    start = from_iso(args.from_time)
+    end = from_iso(args.until_time)
+    schedules = {
+        "ris": RISBeaconSchedule(),
+        "zombie-24h": ZombieBeaconSchedule(RecycleApproach.DAILY),
+        "zombie-15d": ZombieBeaconSchedule(RecycleApproach.FIFTEEN_DAYS),
+        "campaign": PaperCampaign(),
+    }
+    schedule = schedules[args.beacons]
+    intervals = list(schedule.intervals(start, end))
+    if not intervals:
+        print("no beacon intervals in the window", file=sys.stderr)
+        return 1
+    records = list(Archive(args.archive).iter_updates(
+        start, end + args.threshold_minutes * MINUTE + 3600))
+    config = DetectorConfig(threshold=args.threshold_minutes * MINUTE,
+                            dedup=not args.no_dedup)
+    result = ZombieDetector(config).detect(records, intervals)
+    print(f"intervals: {len(intervals)}, visible: {result.visible_count}, "
+          f"outbreaks: {result.outbreak_count} "
+          f"({result.outbreak_fraction():.2%})")
+    for outbreak in result.outbreaks:
+        subpath = " ".join(str(a) for a in outbreak.common_subpath())
+        print(f"  {outbreak} | common subpath [{subpath}]")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "report": _cmd_report,
+        "campaign": _cmd_campaign,
+        "replication": _cmd_replication,
+        "detect": _cmd_detect,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

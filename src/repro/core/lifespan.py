@@ -1,0 +1,153 @@
+"""Zombie lifespan tracking from 8-hourly RIB dumps (paper §5, Fig. 3-4).
+
+Update streams answer *whether* a route got stuck; RIB dumps answer
+*for how long*.  RIS publishes every peer's table every 8 hours, so we
+replay the dump series and, for every beacon prefix, record in which
+dumps (and at which peers) the prefix was still present after its final
+withdrawal by the origin.
+
+Presence over time forms **segments**: maximal runs of consecutive dumps
+where at least one peer holds the route.  More than one segment means
+the prefix disappeared from every peer and later came back — a
+**resurrection** (§5.1, Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.state import PeerKey
+from repro.mrt.tabledump import RibDump
+from repro.net.prefix import Prefix
+from repro.utils.timeutil import DAY, MINUTE
+
+__all__ = ["PresenceSegment", "ZombieLifespan", "LifespanTracker"]
+
+
+@dataclass(frozen=True)
+class PresenceSegment:
+    """A maximal run of dump instants where the zombie was visible."""
+
+    start: int
+    end: int
+    peers: frozenset[PeerKey]
+
+    @property
+    def span_days(self) -> float:
+        return (self.end - self.start) / DAY
+
+
+@dataclass
+class ZombieLifespan:
+    """The full story of one zombie prefix after its final withdrawal."""
+
+    prefix: Prefix
+    withdraw_time: int
+    segments: list[PresenceSegment] = field(default_factory=list)
+    #: peer router -> (first dump seen, last dump seen).
+    peer_spans: dict[PeerKey, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def is_zombie(self) -> bool:
+        return bool(self.segments)
+
+    @property
+    def first_seen(self) -> Optional[int]:
+        return self.segments[0].start if self.segments else None
+
+    @property
+    def last_seen(self) -> Optional[int]:
+        return self.segments[-1].end if self.segments else None
+
+    @property
+    def duration_seconds(self) -> int:
+        """Withdrawal → last sighting (0 when never stuck)."""
+        return (self.last_seen - self.withdraw_time) if self.segments else 0
+
+    @property
+    def duration_days(self) -> float:
+        return self.duration_seconds / DAY
+
+    @property
+    def resurrection_count(self) -> int:
+        """Number of gaps: times the zombie vanished then reappeared."""
+        return max(0, len(self.segments) - 1)
+
+    def peer_duration_days(self, peer: PeerKey) -> float:
+        span = self.peer_spans.get(peer)
+        if span is None:
+            return 0.0
+        return (span[1] - span[0]) / DAY
+
+
+class LifespanTracker:
+    """Replay RIB dumps and measure zombie lifespans."""
+
+    def __init__(self, min_stuck: int = 90 * MINUTE):
+        #: a dump only counts as zombie evidence when it is at least this
+        #: long after the withdrawal (consistent with the 90-minute
+        #: detection threshold).
+        self.min_stuck = min_stuck
+
+    def track(self, dumps: Iterable[RibDump],
+              final_withdrawals: dict[Prefix, int],
+              excluded_peers: frozenset[PeerKey] = frozenset()
+              ) -> dict[Prefix, ZombieLifespan]:
+        """``final_withdrawals``: beacon prefix → the origin's last
+        withdrawal time (ground truth from the schedule).  Returns one
+        lifespan per prefix (non-zombies have empty segments).
+
+        ``excluded_peers`` removes noisy peer routers, giving the
+        "noisy peers excluded" line of Fig. 3."""
+        presence: dict[Prefix, dict[int, set[PeerKey]]] = {
+            prefix: {} for prefix in final_withdrawals}
+        dump_instants: set[int] = set()
+
+        for dump in dumps:
+            dump_instants.add(dump.timestamp)
+            for prefix, withdraw_time in final_withdrawals.items():
+                if dump.timestamp < withdraw_time + self.min_stuck:
+                    continue
+                holders = {(dump.collector, address)
+                           for _, address in dump.peers_holding(prefix)}
+                holders -= excluded_peers
+                if holders:
+                    slot = presence[prefix].setdefault(dump.timestamp, set())
+                    slot.update(holders)
+
+        instants = sorted(dump_instants)
+        return {
+            prefix: self._build_lifespan(prefix, withdraw_time,
+                                         presence[prefix], instants)
+            for prefix, withdraw_time in final_withdrawals.items()
+        }
+
+    def _build_lifespan(self, prefix: Prefix, withdraw_time: int,
+                        seen: dict[int, set[PeerKey]],
+                        instants: list[int]) -> ZombieLifespan:
+        lifespan = ZombieLifespan(prefix, withdraw_time)
+        current_start: Optional[int] = None
+        current_end: Optional[int] = None
+        current_peers: set[PeerKey] = set()
+
+        relevant = [t for t in instants if t >= withdraw_time + self.min_stuck]
+        for instant in relevant:
+            holders = seen.get(instant)
+            if holders:
+                if current_start is None:
+                    current_start = instant
+                current_end = instant
+                current_peers.update(holders)
+                for peer in holders:
+                    first, _ = lifespan.peer_spans.get(peer, (instant, instant))
+                    lifespan.peer_spans[peer] = (first, instant)
+            elif current_start is not None:
+                lifespan.segments.append(PresenceSegment(
+                    current_start, current_end, frozenset(current_peers)))
+                current_start = current_end = None
+                current_peers = set()
+        if current_start is not None:
+            lifespan.segments.append(PresenceSegment(
+                current_start, current_end, frozenset(current_peers)))
+        return lifespan

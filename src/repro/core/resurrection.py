@@ -1,0 +1,150 @@
+"""Zombie resurrection detection (paper §5.1).
+
+Two complementary signals:
+
+* **Short scale** (update stream): a peer withdraws the stuck prefix,
+  then receives a *new announcement* for it minutes later without any
+  new beacon announcement — the Fig. 2 uptick after 160 minutes
+  (common subpath ``4637 1299 25091 8298 210312``).
+  → :func:`find_late_announcements`.
+
+* **Long scale** (RIB dumps): the prefix disappears from every RIS peer
+  for one or more dump rounds and then reappears — the Fig. 4 timeline
+  of ``2a0d:3dc1:1851::/48``.
+  → :func:`find_resurrections` over :class:`ZombieLifespan` results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.beacons.schedule import BeaconInterval
+from repro.bgp.attributes import ASPath
+from repro.bgp.messages import Record, UpdateRecord
+from repro.core.lifespan import ZombieLifespan
+from repro.core.state import PeerKey, PrefixState, StateReconstructor
+from repro.net.prefix import Prefix
+from repro.utils.timeutil import MINUTE
+
+__all__ = [
+    "LateAnnouncement",
+    "ResurrectionEvent",
+    "find_late_announcements",
+    "find_resurrections",
+]
+
+
+@dataclass(frozen=True)
+class LateAnnouncement:
+    """A re-announcement of a withdrawn beacon at one peer."""
+
+    interval: BeaconInterval
+    peer: PeerKey
+    peer_asn: int
+    withdrawn_at: int
+    reannounced_at: int
+    path: ASPath
+
+    @property
+    def offset_minutes(self) -> float:
+        """Minutes between the beacon withdrawal and the re-announcement."""
+        return (self.reannounced_at - self.interval.withdraw_time) / MINUTE
+
+
+@dataclass(frozen=True)
+class ResurrectionEvent:
+    """A dump-scale resurrection: gone from all peers, then back."""
+
+    prefix: Prefix
+    disappeared_after: int      # last dump of the previous segment
+    resurrected_at: int         # first dump of the next segment
+    peers: frozenset[PeerKey]   # peers of the new segment
+
+    @property
+    def gap_days(self) -> float:
+        return (self.resurrected_at - self.disappeared_after) / 86400
+
+
+def find_late_announcements(records: Sequence[Record],
+                            intervals: Iterable[BeaconInterval],
+                            min_offset: int = 120 * MINUTE,
+                            max_offset: Optional[int] = None
+                            ) -> list[LateAnnouncement]:
+    """Scan each interval for peers that withdrew the beacon and later
+    received a fresh announcement at least ``min_offset`` after the
+    beacon's withdrawal."""
+    by_prefix: dict[Prefix, list[UpdateRecord]] = {}
+    for record in records:
+        if isinstance(record, UpdateRecord):
+            by_prefix.setdefault(record.prefix, []).append(record)
+
+    events: list[LateAnnouncement] = []
+    for interval in intervals:
+        if interval.discarded:
+            continue
+        window_end = (interval.withdraw_time + max_offset
+                      if max_offset is not None else None)
+        prefix_records = by_prefix.get(interval.prefix, [])
+        per_peer: dict[PeerKey, list[UpdateRecord]] = {}
+        for record in prefix_records:
+            if record.timestamp < interval.announce_time:
+                continue
+            if window_end is not None and record.timestamp > window_end:
+                continue
+            per_peer.setdefault((record.collector, record.peer_address),
+                                []).append(record)
+        for peer, peer_records in sorted(per_peer.items()):
+            event = _scan_peer(interval, peer, peer_records, min_offset)
+            if event is not None:
+                events.append(event)
+    return events
+
+
+def _scan_peer(interval: BeaconInterval, peer: PeerKey,
+               records: list[UpdateRecord],
+               min_offset: int) -> Optional[LateAnnouncement]:
+    records = sorted(records, key=lambda r: r.timestamp)
+    withdrawn_at: Optional[int] = None
+    for record in records:
+        if record.is_withdrawal:
+            if record.timestamp >= interval.withdraw_time:
+                withdrawn_at = record.timestamp
+            continue
+        if (withdrawn_at is not None
+                and record.timestamp >= interval.withdraw_time + min_offset):
+            return LateAnnouncement(
+                interval=interval, peer=peer, peer_asn=record.peer_asn,
+                withdrawn_at=withdrawn_at, reannounced_at=record.timestamp,
+                path=record.attributes.as_path)
+    return None
+
+
+def find_resurrections(lifespans: Iterable[ZombieLifespan],
+                       late_first_seen: int = 2 * 86400
+                       ) -> list[ResurrectionEvent]:
+    """Extract resurrection events.
+
+    Two forms count: (a) a gap between visible segments, and (b) a first
+    sighting more than ``late_first_seen`` after the withdrawal — the
+    route had vanished from every peer and came back (the paper's
+    2a0d:3dc1:1851::/48 reappearing a week after full withdrawal)."""
+    events: list[ResurrectionEvent] = []
+    for lifespan in lifespans:
+        segments = lifespan.segments
+        if not segments:
+            continue
+        first = segments[0]
+        if first.start > lifespan.withdraw_time + late_first_seen:
+            events.append(ResurrectionEvent(
+                prefix=lifespan.prefix,
+                disappeared_after=lifespan.withdraw_time,
+                resurrected_at=first.start,
+                peers=first.peers))
+        for previous, following in zip(segments, segments[1:]):
+            events.append(ResurrectionEvent(
+                prefix=lifespan.prefix,
+                disappeared_after=previous.end,
+                resurrected_at=following.start,
+                peers=following.peers))
+    return sorted(events, key=lambda e: (e.resurrected_at, str(e.prefix)))

@@ -1,0 +1,158 @@
+"""Zombie hunting "in the wild" (Ongkanchana et al., ANRW'21 — the
+related work the paper builds on in §2).
+
+Beacons give ground truth about withdrawal times; arbitrary prefixes do
+not.  The wild heuristic reconstructs that ground truth from the data
+itself: a burst of withdrawals for one prefix seen by *most* peers
+within a short propagation window is a **complete withdrawal** (the
+origin really pulled the prefix); peers that keep the route afterwards
+hold wild zombies.  Withdrawals seen by only a few peers are local
+topology changes and are skipped.
+
+The paper's §2 take-away — "noisy prefixes such as beacons are more
+prone to get stuck than regular prefixes" — can be tested with this
+module by comparing beacon-prefix and wild-prefix zombie rates over the
+same record stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.beacons.schedule import BeaconInterval
+from repro.bgp.messages import Record, UpdateRecord
+from repro.core.detector import DetectionResult, DetectorConfig, ZombieDetector
+from repro.core.state import PeerKey
+from repro.net.prefix import Prefix
+from repro.utils.timeutil import MINUTE
+
+__all__ = ["WildWithdrawal", "WildConfig", "find_complete_withdrawals",
+           "detect_wild_zombies"]
+
+
+@dataclass(frozen=True)
+class WildConfig:
+    """The classification thresholds of the wild heuristic."""
+
+    #: withdrawals within this window belong to one event.
+    propagation_window: int = 10 * MINUTE
+    #: fraction of the prefix's visible peers that must withdraw for the
+    #: event to count as a complete withdrawal.
+    visibility_fraction: float = 0.8
+    #: minimum number of withdrawing peers (guards tiny denominators).
+    min_peers: int = 3
+    #: stuck threshold, as everywhere else in the pipeline.
+    threshold: int = 90 * MINUTE
+
+
+@dataclass(frozen=True)
+class WildWithdrawal:
+    """One inferred complete-withdrawal event."""
+
+    prefix: Prefix
+    start: int                     # first withdrawal of the burst
+    end: int                       # last withdrawal inside the window
+    withdrawing_peers: frozenset[PeerKey]
+    visible_peers: int
+
+    @property
+    def coverage(self) -> float:
+        return (len(self.withdrawing_peers) / self.visible_peers
+                if self.visible_peers else 0.0)
+
+
+def find_complete_withdrawals(records: Sequence[Record],
+                              config: Optional[WildConfig] = None,
+                              prefixes: Optional[Iterable[Prefix]] = None
+                              ) -> list[WildWithdrawal]:
+    """Scan a record stream for complete-withdrawal events."""
+    config = config or WildConfig()
+    wanted = set(prefixes) if prefixes is not None else None
+
+    #: prefix -> peers that announced it (visibility denominator).
+    announced_by: dict[Prefix, set[PeerKey]] = {}
+    #: prefix -> time-ordered withdrawal (time, peer).
+    withdrawals: dict[Prefix, list[tuple[int, PeerKey]]] = {}
+    for record in records:
+        if not isinstance(record, UpdateRecord):
+            continue
+        if wanted is not None and record.prefix not in wanted:
+            continue
+        key: PeerKey = (record.collector, record.peer_address)
+        if record.is_announcement:
+            announced_by.setdefault(record.prefix, set()).add(key)
+        else:
+            withdrawals.setdefault(record.prefix, []).append(
+                (record.timestamp, key))
+
+    events: list[WildWithdrawal] = []
+    for prefix, items in withdrawals.items():
+        visible = announced_by.get(prefix, set())
+        if len(visible) < config.min_peers:
+            continue
+        items.sort()
+        index = 0
+        while index < len(items):
+            start_time = items[index][0]
+            window_end = start_time + config.propagation_window
+            burst_peers: set[PeerKey] = set()
+            scan = index
+            last_time = start_time
+            while scan < len(items) and items[scan][0] <= window_end:
+                burst_peers.add(items[scan][1])
+                last_time = items[scan][0]
+                scan += 1
+            coverage = len(burst_peers & visible) / len(visible)
+            if (coverage >= config.visibility_fraction
+                    and len(burst_peers) >= config.min_peers):
+                events.append(WildWithdrawal(
+                    prefix=prefix, start=start_time, end=last_time,
+                    withdrawing_peers=frozenset(burst_peers),
+                    visible_peers=len(visible)))
+            index = scan
+    return sorted(events, key=lambda e: (e.start, str(e.prefix)))
+
+
+def detect_wild_zombies(records: Sequence[Record],
+                        config: Optional[WildConfig] = None,
+                        prefixes: Optional[Iterable[Prefix]] = None
+                        ) -> DetectionResult:
+    """Full wild pipeline: classify withdrawals, then run the revised
+    detector with the inferred events as pseudo beacon intervals.
+
+    The synthesised interval announces at the first sighting of the
+    prefix and withdraws at the event's burst start, so the standard
+    detector semantics (state at ``withdrawal + threshold``) apply
+    unchanged — no beacon deployment needed.
+    """
+    config = config or WildConfig()
+    events = find_complete_withdrawals(records, config, prefixes)
+
+    import bisect
+
+    announce_times: dict[Prefix, list[int]] = {}
+    for record in records:
+        if isinstance(record, UpdateRecord) and record.is_announcement:
+            announce_times.setdefault(record.prefix, []).append(
+                record.timestamp)
+    for times in announce_times.values():
+        times.sort()
+
+    intervals = []
+    for event in events:
+        # The pseudo interval opens at the last announcement before the
+        # withdrawal burst (each event gets its own epoch, so interval
+        # isolation works exactly as with real beacons).
+        times = announce_times.get(event.prefix, [])
+        index = bisect.bisect_left(times, event.start)
+        announce = times[index - 1] if index else event.start - 1
+        if announce >= event.start:
+            announce = event.start - 1
+        intervals.append(BeaconInterval(
+            prefix=event.prefix, announce_time=announce,
+            withdraw_time=event.start, origin_asn=0))
+
+    detector = ZombieDetector(DetectorConfig(threshold=config.threshold,
+                                             dedup=False))
+    return detector.detect(records, intervals)

@@ -1,0 +1,27 @@
+"""Data plane: forwarding tables, packet walks, zombie traffic impact."""
+
+from repro.dataplane.forwarding import (
+    DEFAULT_TTL,
+    ForwardingTable,
+    HopOutcome,
+    PacketWalk,
+    forward_packet,
+    traceroute,
+)
+from repro.dataplane.impact import (
+    ImpactReport,
+    assess_impact,
+    fig1_scenario_outcomes,
+)
+
+__all__ = [
+    "DEFAULT_TTL",
+    "ForwardingTable",
+    "HopOutcome",
+    "PacketWalk",
+    "forward_packet",
+    "traceroute",
+    "ImpactReport",
+    "assess_impact",
+    "fig1_scenario_outcomes",
+]

@@ -1,0 +1,153 @@
+"""Data-plane substrate: forwarding tables and packet walks.
+
+The paper's Fig. 1 motivates zombies by their *traffic* impact: a stale
+less-specific (or equal) route pulls packets toward an AS that no longer
+has a route, producing forwarding loops or blackholes.  This module
+derives per-AS forwarding tables from the control plane (the simulator's
+Loc-RIBs) using longest-prefix matching, and walks packets hop by hop to
+classify the outcome: DELIVERED, BLACKHOLED, or LOOPED.
+
+This is also how Fontugne et al. *validated* zombies (traceroutes from
+RIPE Atlas probes): a traceroute toward a withdrawn-but-stuck prefix
+reveals whether intermediate ASes still forward on the stale route.
+:func:`traceroute` reproduces that measurement inside the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Optional
+
+from repro.net.prefix import Prefix
+
+__all__ = ["ForwardingTable", "HopOutcome", "PacketWalk", "forward_packet",
+           "traceroute"]
+
+#: Default hop budget — IPv6 default TTL.
+DEFAULT_TTL = 64
+
+
+class HopOutcome(Enum):
+    """Terminal state of a packet walk."""
+
+    DELIVERED = "delivered"       # reached the destination AS
+    BLACKHOLED = "blackholed"     # an AS had no route
+    LOOPED = "looped"             # revisited an AS
+    TTL_EXPIRED = "ttl-expired"   # hop budget exhausted
+
+
+class ForwardingTable:
+    """One AS's FIB: prefix → next-hop AS (None = locally delivered).
+
+    Built from the control plane: the AS's best route per prefix points
+    at the neighbour it was learned from; locally originated prefixes
+    deliver locally.
+    """
+
+    def __init__(self, asn: int):
+        self.asn = asn
+        self._entries: dict[Prefix, Optional[int]] = {}
+
+    def install(self, prefix: Prefix, next_hop_asn: Optional[int]) -> None:
+        self._entries[prefix] = next_hop_asn
+
+    def remove(self, prefix: Prefix) -> None:
+        self._entries.pop(prefix, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._entries
+
+    def lookup(self, destination: Prefix) -> Optional[tuple[Prefix, Optional[int]]]:
+        """Longest-prefix match for ``destination``; returns the matched
+        (prefix, next-hop) or None when no route covers it.
+
+        ``destination`` is typically a host route (/32 or /128).
+        """
+        best: Optional[tuple[Prefix, Optional[int]]] = None
+        for prefix, next_hop in self._entries.items():
+            if not prefix.contains(destination):
+                continue
+            if best is None or prefix.prefixlen > best[0].prefixlen:
+                best = (prefix, next_hop)
+        return best
+
+    @classmethod
+    def from_router(cls, router) -> "ForwardingTable":
+        """Derive the FIB from a simulator :class:`ASRouter`."""
+        table = cls(router.asn)
+        for prefix, (src, _attrs) in router.best.items():
+            table.install(prefix, src)
+        return table
+
+
+@dataclass(frozen=True)
+class PacketWalk:
+    """The result of forwarding one packet through the AS graph."""
+
+    destination: Prefix
+    source_asn: int
+    path: tuple[int, ...]
+    outcome: HopOutcome
+    #: the matched prefix at each hop (None when blackholed at that hop).
+    matches: tuple[Optional[Prefix], ...]
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.path) - 1
+
+    @property
+    def delivered(self) -> bool:
+        return self.outcome is HopOutcome.DELIVERED
+
+    def __str__(self) -> str:
+        hops = " -> ".join(f"AS{asn}" for asn in self.path)
+        return f"{self.destination} from AS{self.source_asn}: {hops} [{self.outcome.value}]"
+
+
+def forward_packet(tables: dict[int, ForwardingTable], source_asn: int,
+                   destination: Prefix, ttl: int = DEFAULT_TTL) -> PacketWalk:
+    """Walk a packet from ``source_asn`` toward ``destination``.
+
+    ``tables`` maps ASN → FIB.  The walk ends when an AS delivers
+    locally, has no covering route (blackhole), appears twice (loop —
+    the Fig. 1 scenario), or the hop budget runs out.
+    """
+    path: list[int] = [source_asn]
+    matches: list[Optional[Prefix]] = []
+    visited = {source_asn}
+    current = source_asn
+
+    for _ in range(ttl):
+        table = tables.get(current)
+        hit = table.lookup(destination) if table is not None else None
+        if hit is None:
+            matches.append(None)
+            return PacketWalk(destination, source_asn, tuple(path),
+                              HopOutcome.BLACKHOLED, tuple(matches))
+        matched_prefix, next_asn = hit
+        matches.append(matched_prefix)
+        if next_asn is None:
+            return PacketWalk(destination, source_asn, tuple(path),
+                              HopOutcome.DELIVERED, tuple(matches))
+        if next_asn in visited:
+            path.append(next_asn)
+            return PacketWalk(destination, source_asn, tuple(path),
+                              HopOutcome.LOOPED, tuple(matches))
+        visited.add(next_asn)
+        path.append(next_asn)
+        current = next_asn
+    return PacketWalk(destination, source_asn, tuple(path),
+                      HopOutcome.TTL_EXPIRED, tuple(matches))
+
+
+def traceroute(world, source_asn: int, destination: Prefix,
+               ttl: int = DEFAULT_TTL) -> PacketWalk:
+    """Fontugne-style validation probe: forward a packet through the
+    *current* state of a simulated world (FIBs derived on the fly)."""
+    tables = {asn: ForwardingTable.from_router(router)
+              for asn, router in world.routers.items()}
+    return forward_packet(tables, source_asn, destination, ttl)

@@ -1,0 +1,48 @@
+"""MRT format constants (RFC 6396)."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MRT_TABLE_DUMP_V2",
+    "MRT_BGP4MP",
+    "BGP4MP_STATE_CHANGE",
+    "BGP4MP_MESSAGE",
+    "BGP4MP_MESSAGE_AS4",
+    "BGP4MP_STATE_CHANGE_AS4",
+    "TDV2_PEER_INDEX_TABLE",
+    "TDV2_RIB_IPV4_UNICAST",
+    "TDV2_RIB_IPV6_UNICAST",
+    "BGP_MSG_UPDATE",
+    "BGP_MARKER",
+]
+
+# MRT record types.
+MRT_TABLE_DUMP_V2 = 13
+MRT_BGP4MP = 16
+
+# BGP4MP subtypes.
+BGP4MP_STATE_CHANGE = 0
+BGP4MP_MESSAGE = 1
+BGP4MP_MESSAGE_AS4 = 4
+BGP4MP_STATE_CHANGE_AS4 = 5
+
+# TABLE_DUMP_V2 subtypes.
+TDV2_PEER_INDEX_TABLE = 1
+TDV2_RIB_IPV4_UNICAST = 2
+TDV2_RIB_IPV6_UNICAST = 4
+
+# BGP message types (RFC 4271).
+BGP_MSG_OPEN = 1
+BGP_MSG_UPDATE = 2
+BGP_MSG_NOTIFICATION = 3
+BGP_MSG_KEEPALIVE = 4
+
+#: The all-ones 16-octet marker every BGP message starts with.
+BGP_MARKER = b"\xff" * 16
+
+# Peer-index-table peer type flag bits.
+PEER_TYPE_IPV6 = 0x01
+PEER_TYPE_AS4 = 0x02
+
+# SAFI.
+SAFI_UNICAST = 1

@@ -1,0 +1,27 @@
+"""Real-time zombie detection (the paper's §6 operator platform)."""
+
+from repro.realtime.sinks import (
+    AlertDispatcher,
+    AlertSink,
+    CallbackSink,
+    CountingSink,
+    JsonLinesSink,
+)
+from repro.realtime.streaming import (
+    ResurrectionAlert,
+    ResurrectionMonitor,
+    StreamingDetector,
+    ZombieAlert,
+)
+
+__all__ = [
+    "AlertDispatcher",
+    "AlertSink",
+    "CallbackSink",
+    "CountingSink",
+    "JsonLinesSink",
+    "ResurrectionAlert",
+    "ResurrectionMonitor",
+    "StreamingDetector",
+    "ZombieAlert",
+]

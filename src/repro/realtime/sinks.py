@@ -1,0 +1,121 @@
+"""Alert sinks: where live zombie alerts go.
+
+The paper's §6 operator platform needs notification plumbing; this keeps
+it pluggable: callbacks, counters, JSON-lines files — and a dispatcher
+that fans one alert out to all of them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Callable, IO, Optional, Union
+
+from repro.realtime.streaming import ResurrectionAlert, ZombieAlert
+
+__all__ = ["AlertSink", "CallbackSink", "CountingSink", "JsonLinesSink",
+           "AlertDispatcher"]
+
+Alert = Union[ZombieAlert, ResurrectionAlert]
+
+
+class AlertSink:
+    """Interface: receive one alert."""
+
+    def emit(self, alert: Alert) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - optional hook
+        pass
+
+
+class CallbackSink(AlertSink):
+    """Invoke a callable per alert."""
+
+    def __init__(self, callback: Callable[[Alert], None]):
+        self._callback = callback
+
+    def emit(self, alert: Alert) -> None:
+        self._callback(alert)
+
+
+class CountingSink(AlertSink):
+    """Count alerts per kind and per prefix (operator dashboard stats)."""
+
+    def __init__(self):
+        self.total = 0
+        self.by_kind: dict[str, int] = {}
+        self.by_prefix: dict[str, int] = {}
+
+    def emit(self, alert: Alert) -> None:
+        self.total += 1
+        kind = type(alert).__name__
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        prefix = str(alert.prefix)
+        self.by_prefix[prefix] = self.by_prefix.get(prefix, 0) + 1
+
+
+class JsonLinesSink(AlertSink):
+    """Append alerts as JSON lines (machine-readable feed)."""
+
+    def __init__(self, target: Union[str, Path, IO[str]]):
+        if hasattr(target, "write"):
+            self._handle: IO[str] = target  # type: ignore[assignment]
+            self._owned = False
+        else:
+            self._handle = open(target, "a", encoding="utf-8")
+            self._owned = True
+
+    def emit(self, alert: Alert) -> None:
+        payload = {"kind": type(alert).__name__}
+        payload.update(_serialise(alert))
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._owned:
+            self._handle.close()
+
+
+def _serialise(alert: Alert) -> dict:
+    if isinstance(alert, ZombieAlert):
+        return {
+            "prefix": str(alert.prefix),
+            "collector": alert.peer[0],
+            "peer_address": alert.peer[1],
+            "peer_asn": alert.peer_asn,
+            "announce_time": alert.interval.announce_time,
+            "withdraw_time": alert.interval.withdraw_time,
+            "detected_at": alert.detected_at,
+            "path": str(alert.path) if alert.path is not None else None,
+            "stale": alert.stale,
+        }
+    return {
+        "prefix": str(alert.prefix),
+        "collector": alert.peer[0],
+        "peer_address": alert.peer[1],
+        "peer_asn": alert.peer_asn,
+        "withdrawn_at": alert.withdrawn_at,
+        "resurrected_at": alert.resurrected_at,
+        "quiet_seconds": alert.quiet_seconds,
+        "path": str(alert.path) if alert.path is not None else None,
+    }
+
+
+class AlertDispatcher(AlertSink):
+    """Fan out alerts to several sinks."""
+
+    def __init__(self, sinks: Optional[list[AlertSink]] = None):
+        self.sinks: list[AlertSink] = list(sinks or [])
+
+    def add(self, sink: AlertSink) -> None:
+        self.sinks.append(sink)
+
+    def emit(self, alert: Alert) -> None:
+        for sink in self.sinks:
+            sink.emit(alert)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

@@ -1,0 +1,20 @@
+"""RIPE RIS substrate: collectors, peers and the raw-data archive."""
+
+from repro.ris.archive import (
+    RIB_DUMP_SECONDS,
+    UPDATE_BIN_SECONDS,
+    Archive,
+    ArchiveWriter,
+)
+from repro.ris.collectors import DEFAULT_COLLECTORS, Collector, PeerRegistry, RISPeer
+
+__all__ = [
+    "Archive",
+    "ArchiveWriter",
+    "UPDATE_BIN_SECONDS",
+    "RIB_DUMP_SECONDS",
+    "Collector",
+    "PeerRegistry",
+    "RISPeer",
+    "DEFAULT_COLLECTORS",
+]

@@ -1,0 +1,169 @@
+"""On-disk RIS raw-data archive with the real RIPE layout.
+
+Files live at::
+
+    <root>/<collector>/<YYYY.MM>/updates.<YYYYMMDD>.<HHMM>.gz   (5-minute bins)
+    <root>/<collector>/<YYYY.MM>/bview.<YYYYMMDD>.<HHMM>.gz     (8-hourly RIBs)
+
+:class:`ArchiveWriter` bins a record stream into update files and writes
+RIB snapshots; :class:`Archive` resolves time windows back to files and
+iterates decoded records, merging collectors in time order — exactly the
+access pattern the zombie pipeline (and pybgpstream) uses against the
+real archive.
+"""
+
+from __future__ import annotations
+
+import heapq
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+from repro.bgp.messages import Record, record_sort_key
+from repro.mrt.files import read_updates_file, write_updates_file
+from repro.mrt.tabledump import RibDump, decode_rib_dump, encode_rib_dump
+from repro.utils.timeutil import align_down, to_datetime
+
+__all__ = ["Archive", "ArchiveWriter", "UPDATE_BIN_SECONDS", "RIB_DUMP_SECONDS"]
+
+UPDATE_BIN_SECONDS = 5 * 60
+RIB_DUMP_SECONDS = 8 * 3600
+
+
+def _month_dir(timestamp: int) -> str:
+    dt = to_datetime(timestamp)
+    return f"{dt.year:04d}.{dt.month:02d}"
+
+
+def _file_stamp(timestamp: int) -> str:
+    dt = to_datetime(timestamp)
+    return f"{dt:%Y%m%d}.{dt:%H%M}"
+
+
+def _parse_file_stamp(name: str) -> int:
+    """Timestamp from ``updates.YYYYMMDD.HHMM.gz`` / ``bview....`` names."""
+    parts = name.split(".")
+    date_part, time_part = parts[1], parts[2]
+    dt = datetime.strptime(date_part + time_part, "%Y%m%d%H%M")
+    return int(dt.replace(tzinfo=timezone.utc).timestamp())
+
+
+class ArchiveWriter:
+    """Write records and RIB dumps into an archive directory."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    def write_updates(self, collector: str, records: Iterable[Record]) -> list[Path]:
+        """Bin records into 5-minute update files; returns paths written.
+
+        Records for bins that already exist on disk are merged with the
+        existing content (needed when a simulation writes incrementally).
+        """
+        bins: dict[int, list[Record]] = {}
+        for record in records:
+            if record.collector != collector:
+                raise ValueError(
+                    f"record for {record.collector} routed to {collector} writer")
+            bin_start = align_down(record.timestamp, UPDATE_BIN_SECONDS)
+            bins.setdefault(bin_start, []).append(record)
+
+        written = []
+        for bin_start, items in sorted(bins.items()):
+            path = self.update_path(collector, bin_start)
+            if path.exists():
+                existing = list(read_updates_file(path, collector))
+                items = existing + items
+            items.sort(key=record_sort_key)
+            write_updates_file(path, items, sort=False)
+            written.append(path)
+        return written
+
+    def write_rib(self, dump: RibDump) -> Path:
+        """Write one bview snapshot."""
+        path = self.rib_path(dump.collector, dump.timestamp)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"")  # ensure truncation on rewrite
+        import gzip
+
+        with gzip.open(path, "wb") as handle:
+            handle.write(encode_rib_dump(dump))
+        return path
+
+    def update_path(self, collector: str, bin_start: int) -> Path:
+        return (self.root / collector / _month_dir(bin_start)
+                / f"updates.{_file_stamp(bin_start)}.gz")
+
+    def rib_path(self, collector: str, timestamp: int) -> Path:
+        return (self.root / collector / _month_dir(timestamp)
+                / f"bview.{_file_stamp(timestamp)}.gz")
+
+
+class Archive:
+    """Read-side of the archive."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        if not self.root.exists():
+            raise FileNotFoundError(f"archive root does not exist: {self.root}")
+
+    def collectors(self) -> list[str]:
+        """Collector directories present in the archive."""
+        return sorted(p.name for p in self.root.iterdir()
+                      if p.is_dir() and p.name.startswith("rrc"))
+
+    def _files(self, collector: str, kind: str, start: int, end: int) -> list[Path]:
+        """Archive files of ``kind`` whose file stamp falls in [start, end)."""
+        base = self.root / collector
+        if not base.exists():
+            return []
+        out = []
+        for month_dir in sorted(base.iterdir()):
+            if not month_dir.is_dir():
+                continue
+            for path in sorted(month_dir.glob(f"{kind}.*.gz")):
+                stamp = _parse_file_stamp(path.name)
+                if start <= stamp < end:
+                    out.append(path)
+        return out
+
+    def update_files(self, collector: str, start: int, end: int) -> list[Path]:
+        """Update files covering the window [start, end).
+
+        The file containing ``start`` is included even though its stamp
+        may precede ``start`` (records are filtered at iteration time).
+        """
+        window_start = align_down(start, UPDATE_BIN_SECONDS)
+        return self._files(collector, "updates", window_start, end)
+
+    def rib_files(self, collector: str, start: int, end: int) -> list[Path]:
+        return self._files(collector, "bview", start, end)
+
+    def iter_updates(self, start: int, end: int,
+                     collectors: Optional[Sequence[str]] = None) -> Iterator[Record]:
+        """Iterate decoded records in [start, end) over all collectors,
+        merged in global (time, collector, peer) order."""
+        collectors = list(collectors) if collectors is not None else self.collectors()
+
+        def stream(collector: str) -> Iterator[Record]:
+            for path in self.update_files(collector, start, end):
+                for record in read_updates_file(path, collector):
+                    if start <= record.timestamp < end:
+                        yield record
+
+        streams = [stream(c) for c in collectors]
+        yield from heapq.merge(*streams, key=record_sort_key)
+
+    def iter_ribs(self, start: int, end: int,
+                  collectors: Optional[Sequence[str]] = None) -> Iterator[RibDump]:
+        """Iterate RIB snapshots in [start, end), in time order."""
+        import gzip
+
+        collectors = list(collectors) if collectors is not None else self.collectors()
+        stamped: list[tuple[int, Path]] = []
+        for collector in collectors:
+            for path in self.rib_files(collector, start, end):
+                stamped.append((_parse_file_stamp(path.name), path))
+        for _, path in sorted(stamped, key=lambda item: (item[0], str(item[1]))):
+            with gzip.open(path, "rb") as handle:
+                yield decode_rib_dump(handle.read())

@@ -1,0 +1,19 @@
+"""RouteViews archive substrate and RIS+RouteViews stream merging."""
+
+from repro.routeviews.archive import (
+    DEFAULT_COLLECTORS,
+    RIB_DUMP_SECONDS,
+    UPDATE_BIN_SECONDS,
+    RouteViewsArchive,
+    RouteViewsWriter,
+    merged_update_stream,
+)
+
+__all__ = [
+    "RouteViewsArchive",
+    "RouteViewsWriter",
+    "merged_update_stream",
+    "DEFAULT_COLLECTORS",
+    "UPDATE_BIN_SECONDS",
+    "RIB_DUMP_SECONDS",
+]

@@ -1,0 +1,36 @@
+"""Event-driven BGP propagation simulator with zombie fault injection."""
+
+from repro.simulator.collector import CollectorTap
+from repro.simulator.engine import Engine
+from repro.simulator.faults import (
+    Disposition,
+    FaultPlan,
+    LinkFault,
+    LinkFreeze,
+    SessionResetEvent,
+    WithdrawalDelay,
+    WithdrawalSuppression,
+)
+from repro.simulator.network import BGPWorld
+from repro.simulator.ribgen import dump_times, generate_rib_dumps
+from repro.simulator.router import ASRouter
+from repro.simulator.rpki import ROA, ROARegistry, ValidationState
+
+__all__ = [
+    "BGPWorld",
+    "ASRouter",
+    "CollectorTap",
+    "Engine",
+    "Disposition",
+    "FaultPlan",
+    "LinkFault",
+    "LinkFreeze",
+    "SessionResetEvent",
+    "WithdrawalDelay",
+    "WithdrawalSuppression",
+    "dump_times",
+    "generate_rib_dumps",
+    "ROA",
+    "ROARegistry",
+    "ValidationState",
+]

@@ -1,0 +1,116 @@
+"""Collector taps: the RIS side of a peering session.
+
+A :class:`CollectorTap` models one RIS peer *router* feeding one
+collector.  It observes its AS's Loc-RIB changes and records them as
+:class:`UpdateRecord`/:class:`StateRecord` streams — the exact artefact
+RIPE RIS archives.
+
+Noisy peers (paper §3.2 and §5) are modelled at this edge: with
+probability ``drop_withdrawal_prob`` a withdrawal is never reported to
+the collector, leaving the stale route visible in the collector's view
+even though the AS itself converged correctly.  This mirrors the
+real-world cause (misconfigured/buggy collector sessions polluting the
+feed, not the peer's production routing).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.messages import (
+    Announcement,
+    PeerState,
+    StateRecord,
+    UpdateRecord,
+    Withdrawal,
+)
+from repro.net.prefix import Prefix
+from repro.ris.collectors import RISPeer
+
+__all__ = ["CollectorTap"]
+
+
+class CollectorTap:
+    """One (collector, peer router) feed."""
+
+    def __init__(self, peer: RISPeer, world, drop_withdrawal_prob=0.0,
+                 report_delay: float = 1.0, seed: int = 0):
+        self.peer = peer
+        self.world = world
+        #: either one probability for both families, or {4: p4, 6: p6} —
+        #: the paper's AS16347 only misbehaves on its IPv6 feed.
+        self.drop_withdrawal_prob = drop_withdrawal_prob
+        self.report_delay = report_delay
+        # Keyed by (collector, ASN) — NOT the router address — so multiple
+        # routers of one peer AS misbehave in lockstep, as the paper's
+        # Table 5 shows for the two AS211509 routers.
+        self._rng = random.Random((seed, peer.collector, peer.asn).__repr__())
+        self._down = False
+        #: what the collector currently believes this peer announced.
+        self.collector_view: dict[Prefix, PathAttributes] = {}
+        router = world.routers[peer.asn]
+        router.add_observer(self._on_route_change)
+        self._router = router
+
+    # -- observation -------------------------------------------------------
+
+    def _on_route_change(self, time: float, prefix: Prefix,
+                         attrs: Optional[PathAttributes]) -> None:
+        if self._down:
+            return
+        if attrs is not None:
+            self.collector_view[prefix] = attrs
+            self._record_update(time, Announcement(prefix, attrs))
+        else:
+            if prefix not in self.collector_view:
+                return
+            if self._rng.random() < self._drop_prob(prefix):
+                return  # noisy peer: the withdrawal never reaches RIS
+            del self.collector_view[prefix]
+            self._record_update(time, Withdrawal(prefix))
+
+    def _drop_prob(self, prefix: Prefix) -> float:
+        prob = self.drop_withdrawal_prob
+        if isinstance(prob, dict):
+            return prob.get(4 if prefix.is_ipv4 else 6, 0.0)
+        return prob
+
+    def _record_update(self, time: float, message) -> None:
+        self.world.record(UpdateRecord(
+            timestamp=int(time + self.report_delay),
+            collector=self.peer.collector,
+            peer_address=self.peer.address,
+            peer_asn=self.peer.asn,
+            message=message,
+        ))
+
+    # -- session lifecycle ---------------------------------------------------
+
+    def session_down(self, time: float) -> None:
+        """The peer↔collector BGP session dropped."""
+        if self._down:
+            return
+        self._down = True
+        self.collector_view.clear()
+        self.world.record(StateRecord(
+            timestamp=int(time), collector=self.peer.collector,
+            peer_address=self.peer.address, peer_asn=self.peer.asn,
+            old_state=PeerState.ESTABLISHED, new_state=PeerState.IDLE))
+
+    def session_up(self, time: float) -> None:
+        """Re-established: the peer re-announces its full current table."""
+        if not self._down:
+            return
+        self._down = False
+        self.world.record(StateRecord(
+            timestamp=int(time), collector=self.peer.collector,
+            peer_address=self.peer.address, peer_asn=self.peer.asn,
+            old_state=PeerState.CONNECT, new_state=PeerState.ESTABLISHED))
+        for prefix in sorted(self._router.best, key=str):
+            attrs = self._router.export_attributes(prefix)
+            if attrs is None:
+                continue
+            self.collector_view[prefix] = attrs
+            self._record_update(time, Announcement(prefix, attrs))

@@ -1,0 +1,17 @@
+"""AS-level topology: relationship graph and synthetic Internet generator."""
+
+from repro.topology.generator import (
+    BACKBONE_EDGES,
+    TIER1_ASNS,
+    TopologyConfig,
+    build_internet,
+)
+from repro.topology.graph import ASTopology
+
+__all__ = [
+    "ASTopology",
+    "TopologyConfig",
+    "build_internet",
+    "TIER1_ASNS",
+    "BACKBONE_EDGES",
+]

@@ -1,0 +1,5 @@
+"""Shared utilities (time handling, CDF helpers, logging)."""
+
+from repro.utils import timeutil
+
+__all__ = ["timeutil"]

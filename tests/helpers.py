@@ -1,0 +1,55 @@
+"""Shared builders for core-pipeline tests: hand-crafted record streams."""
+
+from repro.beacons import AggregatorClock, BeaconInterval
+from repro.bgp import (
+    Aggregator,
+    Announcement,
+    ASPath,
+    PathAttributes,
+    PeerState,
+    StateRecord,
+    UpdateRecord,
+    Withdrawal,
+)
+from repro.net import Prefix
+
+ORIGIN = 210312
+
+
+def attrs(*asns, origin_time=None, next_hop="2001:db8::1"):
+    """Path attributes; ``origin_time`` adds the RIS Aggregator clock."""
+    aggregator = None
+    if origin_time is not None:
+        aggregator = Aggregator(ORIGIN, AggregatorClock.encode(origin_time))
+    return PathAttributes(as_path=ASPath.of(*asns), next_hop=next_hop,
+                          aggregator=aggregator)
+
+
+def ann(time, prefix, *asns, collector="rrc00", addr="2001:db8::2",
+        peer_asn=None, origin_time=None):
+    peer_asn = peer_asn if peer_asn is not None else asns[0]
+    return UpdateRecord(time, collector, addr, peer_asn,
+                        Announcement(Prefix(prefix),
+                                     attrs(*asns, origin_time=origin_time)))
+
+
+def wd(time, prefix, collector="rrc00", addr="2001:db8::2", peer_asn=25091):
+    return UpdateRecord(time, collector, addr, peer_asn,
+                        Withdrawal(Prefix(prefix)))
+
+
+def sess_down(time, collector="rrc00", addr="2001:db8::2", peer_asn=25091):
+    return StateRecord(time, collector, addr, peer_asn,
+                       PeerState.ESTABLISHED, PeerState.IDLE)
+
+
+def sess_up(time, collector="rrc00", addr="2001:db8::2", peer_asn=25091):
+    return StateRecord(time, collector, addr, peer_asn,
+                       PeerState.CONNECT, PeerState.ESTABLISHED)
+
+
+def interval(prefix, announce, withdraw=None, origin=ORIGIN, discarded=False):
+    withdraw = withdraw if withdraw is not None else announce + 900
+    return BeaconInterval(prefix=Prefix(prefix), announce_time=announce,
+                          withdraw_time=withdraw, origin_asn=origin,
+                          discarded=discarded)

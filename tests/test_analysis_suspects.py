@@ -1,0 +1,133 @@
+"""Tests for root-cause AS characterization."""
+
+import pytest
+from helpers import ann, interval
+
+from repro.analysis.suspects import (
+    SuspectProfile,
+    characterize_suspects,
+    inference_confidence,
+)
+from repro.core import ZombieOutbreak, ZombieRoute, infer_root_cause
+from repro.topology import ASTopology
+from repro.utils.timeutil import HOUR, ts
+
+T0 = ts(2024, 6, 7)
+
+
+def outbreak(prefix, paths, announce=T0):
+    iv = interval(prefix, announce, announce + 900)
+    routes = []
+    for index, path in enumerate(paths):
+        record = ann(announce + 2, prefix, *path,
+                     addr=f"2001:db8::{index + 1}", peer_asn=path[0])
+        routes.append(ZombieRoute(interval=iv,
+                                  peer=("rrc00", f"2001:db8::{index + 1}"),
+                                  peer_asn=path[0], detected_at=announce + 6300,
+                                  announcement=record))
+    return ZombieOutbreak(iv, tuple(routes))
+
+
+def topology():
+    topo = ASTopology()
+    for asn in (210312, 8298, 25091, 33891, 9304, 64801, 64802, 64803):
+        topo.add_as(asn)
+    topo.add_provider_customer(8298, 210312)
+    topo.add_provider_customer(25091, 8298)
+    topo.add_provider_customer(33891, 25091)
+    topo.add_provider_customer(33891, 64801)
+    topo.add_provider_customer(33891, 64802)
+    topo.add_provider_customer(9304, 64803)
+    return topo
+
+
+class TestConfidence:
+    def test_zero_when_no_suspect(self):
+        o = outbreak("2a0d:3dc1:1::/48", [(64801, 210312), (64802, 210312)])
+        inference = infer_root_cause(o, 210312)
+        assert inference_confidence(inference) == 0.0
+
+    def test_single_path_half_confidence_ceiling(self):
+        o = outbreak("2a0d:3dc1:1::/48", [(64801, 33891, 25091, 8298, 210312)])
+        inference = infer_root_cause(o, 210312)
+        confidence = inference_confidence(inference)
+        assert 0 < confidence < 0.7
+
+    def test_many_agreeing_paths_high_confidence(self):
+        paths = [(peer, 33891, 25091, 8298, 210312)
+                 for peer in (64801, 64802, 64803, 64804)]
+        o = outbreak("2a0d:3dc1:1::/48", paths)
+        inference = infer_root_cause(o, 210312)
+        assert inference_confidence(inference) == pytest.approx(1.0)
+
+
+class TestCharacterize:
+    def test_profiles_aggregate_over_outbreaks(self):
+        outbreaks = [
+            outbreak("2a0d:3dc1:1::/48",
+                     [(64801, 33891, 25091, 8298, 210312),
+                      (64802, 33891, 25091, 8298, 210312)]),
+            outbreak("2a0d:3dc1:2::/48",
+                     [(64801, 33891, 25091, 8298, 210312)],
+                     announce=T0 + 4 * HOUR),
+            outbreak("2a0d:3dc1:3::/48",
+                     [(64803, 9304, 25091, 8298, 210312)],
+                     announce=T0 + 8 * HOUR),
+        ]
+        profiles = characterize_suspects(outbreaks, 210312,
+                                         topology=topology())
+        by_asn = {p.asn: p for p in profiles}
+        assert set(by_asn) == {33891, 9304}
+        core = by_asn[33891]
+        assert core.outbreak_count == 2
+        assert len(core.prefixes) == 2
+        assert core.affected_peer_asns == {64801, 64802}
+        assert core.total_zombie_routes == 3
+        # cone = {33891, 25091, 8298, 210312, 64801, 64802}
+        assert core.customer_cone_size == 6
+        assert not core.is_stub
+
+    def test_ranking_by_impact(self):
+        outbreaks = [
+            outbreak("2a0d:3dc1:1::/48",
+                     [(64801, 33891, 25091, 8298, 210312),
+                      (64802, 33891, 25091, 8298, 210312)]),
+            outbreak("2a0d:3dc1:2::/48",
+                     [(64803, 9304, 25091, 8298, 210312)]),
+        ]
+        profiles = characterize_suspects(outbreaks, 210312,
+                                         topology=topology())
+        assert profiles[0].asn == 33891  # bigger cone, more peers
+
+    def test_no_suspect_outbreaks_skipped(self):
+        outbreaks = [outbreak("2a0d:3dc1:1::/48",
+                              [(64801, 210312), (64802, 210312)])]
+        assert characterize_suspects(outbreaks, 210312) == []
+
+    def test_without_topology_cone_zero(self):
+        outbreaks = [outbreak("2a0d:3dc1:1::/48",
+                              [(64801, 33891, 25091, 8298, 210312)])]
+        (profile,) = characterize_suspects(outbreaks, 210312)
+        assert profile.customer_cone_size == 0
+        assert profile.impact_score >= 1
+
+    def test_str(self):
+        outbreaks = [outbreak("2a0d:3dc1:1::/48",
+                              [(64801, 33891, 25091, 8298, 210312)])]
+        (profile,) = characterize_suspects(outbreaks, 210312)
+        assert "AS33891" in str(profile)
+
+
+class TestCampaignSuspects:
+    def test_scripted_causes_surface(self):
+        """Over the quick campaign, the scripted causes (Core-Backbone
+        and HGC) appear among the top suspects."""
+        from repro.experiments import campaign_run
+
+        run = campaign_run(quick=True)
+        result = run.detect(threshold=180 * 60, exclude_noisy=True)
+        profiles = characterize_suspects(result.outbreaks, 210312,
+                                         topology=run.topology)
+        suspects = {p.asn for p in profiles}
+        assert 33891 in suspects
+        assert 9304 in suspects

@@ -1,0 +1,75 @@
+"""Tests for the Aggregator clock codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.beacons import AggregatorClock
+from repro.utils.timeutil import DAY, ts
+
+
+class TestEncode:
+    def test_paper_example(self):
+        """The paper's worked example: 2018-07-15 12:00 encodes to
+        10.19.29.192 (1,252,800 seconds after 2018-07-01)."""
+        assert AggregatorClock.encode(ts(2018, 7, 15, 12)) == "10.19.29.192"
+
+    def test_month_start_is_zero(self):
+        assert AggregatorClock.encode(ts(2024, 6, 1)) == "10.0.0.0"
+
+    def test_one_second_in(self):
+        assert AggregatorClock.encode(ts(2024, 6, 1, 0, 0, 1)) == "10.0.0.1"
+
+
+class TestSeconds:
+    def test_extract(self):
+        assert AggregatorClock.seconds("10.19.29.192") == 1252800
+
+    def test_not_clock_address(self):
+        with pytest.raises(ValueError):
+            AggregatorClock.seconds("192.0.2.1")
+
+    def test_is_clock_address(self):
+        assert AggregatorClock.is_clock_address("10.1.2.3")
+        assert not AggregatorClock.is_clock_address("11.1.2.3")
+        assert not AggregatorClock.is_clock_address("garbage")
+
+
+class TestDecode:
+    def test_paper_example_same_month(self):
+        """Observed 2018-07-19 02:00:02, clock 10.19.29.192 → the
+        announcement originated 2018-07-15 12:00 (3.5 days earlier)."""
+        observed = ts(2018, 7, 19, 2, 0, 2)
+        assert AggregatorClock.decode("10.19.29.192", observed) == ts(2018, 7, 15, 12)
+
+    def test_fresh_announcement_decodes_to_now(self):
+        now = ts(2024, 6, 10, 14, 30)
+        assert AggregatorClock.decode(AggregatorClock.encode(now), now) == now
+
+    def test_rolls_back_to_previous_month(self):
+        """A clock later in the month than the observation must be from
+        the previous month (best-case semantics, paper footnote 1)."""
+        origin = ts(2018, 6, 20, 12)  # June 20
+        observed = ts(2018, 7, 5)     # July 5: June 20 clock > 4 days
+        decoded = AggregatorClock.decode(AggregatorClock.encode(origin), observed)
+        assert decoded == origin
+
+    def test_rolls_back_across_year_boundary(self):
+        origin = ts(2023, 12, 25, 6)
+        observed = ts(2024, 1, 2)
+        decoded = AggregatorClock.decode(AggregatorClock.encode(origin), observed)
+        assert decoded == origin
+
+    @given(st.integers(min_value=ts(2017, 1, 1), max_value=ts(2025, 1, 1)),
+           st.integers(min_value=0, max_value=20 * DAY))
+    def test_roundtrip_within_lookback(self, origin, delay):
+        """decode(encode(t), t+delay) == t whenever the same
+        seconds-count does not recur before the observation."""
+        observed = origin + delay
+        decoded = AggregatorClock.decode(AggregatorClock.encode(origin), observed)
+        assert decoded <= observed
+        # The decoded time is the most recent candidate; it equals the
+        # true origin unless a full month wrapped in between.
+        if delay < 28 * DAY:
+            candidates = {origin}
+            assert decoded in candidates or decoded > origin

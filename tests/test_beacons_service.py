@@ -1,0 +1,146 @@
+"""Tests for the IPv4 compact clock and the long-term beacon service."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.beacons.ipv4_clock import IPv4BeaconClock, IPv4BeaconSchedule
+from repro.beacons.service import BeaconService, BeaconServiceConfig
+from repro.beacons.zombie_beacons import RecycleApproach
+from repro.net import Prefix
+from repro.utils.timeutil import DAY, HOUR, MINUTE, ts
+
+POOL = Prefix("192.0.0.0/16")
+
+
+class TestIPv4Clock:
+    def test_capacity_and_recycle(self):
+        clock = IPv4BeaconClock(POOL)
+        assert clock.capacity == 256
+        assert clock.recycle_seconds == 256 * 15 * MINUTE
+
+    def test_pool_as_specific_as_beacons_rejected(self):
+        with pytest.raises(ValueError):
+            IPv4BeaconClock(Prefix("192.0.2.0/24"), beacon_prefixlen=24)
+
+    def test_encode_known_values(self):
+        clock = IPv4BeaconClock(POOL)
+        assert clock.encode(0) == Prefix("192.0.0.0/24")
+        assert clock.encode(15 * MINUTE) == Prefix("192.0.1.0/24")
+        assert clock.encode(255 * 15 * MINUTE) == Prefix("192.0.255.0/24")
+        # wraps after the recycle period
+        assert clock.encode(256 * 15 * MINUTE) == Prefix("192.0.0.0/24")
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(ValueError):
+            IPv4BeaconClock(POOL).encode(100)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            IPv4BeaconClock(Prefix("2001:db8::/32"))
+        with pytest.raises(ValueError):
+            IPv4BeaconClock(POOL, beacon_prefixlen=16)
+        with pytest.raises(ValueError):
+            IPv4BeaconClock(POOL, beacon_prefixlen=25)
+        with pytest.raises(ValueError):
+            IPv4BeaconClock(POOL, slot_period=0)
+
+    def test_decode_foreign_prefix_rejected(self):
+        clock = IPv4BeaconClock(POOL)
+        with pytest.raises(ValueError):
+            clock.decode(Prefix("10.0.0.0/24"), 0)
+
+    @given(st.integers(min_value=0, max_value=10**6),
+           st.integers(min_value=0, max_value=200 * 15 * MINUTE))
+    @settings(max_examples=60, deadline=None)
+    def test_decode_roundtrip_within_recycle(self, slot_index, delay):
+        """decode(encode(t), t+delay) == t while the delay stays inside
+        one recycle period."""
+        clock = IPv4BeaconClock(POOL)
+        slot_time = slot_index * clock.slot_period
+        prefix = clock.encode(slot_time)
+        decoded = clock.decode(prefix, slot_time + delay)
+        assert decoded == slot_time
+        assert decoded % clock.slot_period == 0
+
+
+class TestIPv4Schedule:
+    def test_intervals(self):
+        schedule = IPv4BeaconSchedule(IPv4BeaconClock(POOL), origin_asn=210312)
+        start = ts(2024, 6, 5)
+        intervals = list(schedule.intervals(start, start + HOUR))
+        assert len(intervals) == 4
+        assert len({i.prefix for i in intervals}) == 4
+        assert all(i.duration == 15 * MINUTE for i in intervals)
+
+    def test_hold_time_budget(self):
+        with pytest.raises(ValueError):
+            IPv4BeaconSchedule(IPv4BeaconClock(POOL), origin_asn=1,
+                               hold_time=256 * 15 * MINUTE)
+
+
+class TestBeaconService:
+    def test_v6_only_default(self):
+        service = BeaconService()
+        start = ts(2024, 7, 1)
+        prefixes = service.prefixes(start, start + 6 * HOUR)
+        assert prefixes
+        assert all(p.is_ipv6 for p in prefixes)
+
+    def test_combined_families(self):
+        service = BeaconService(BeaconServiceConfig(v4_pool=POOL))
+        start = ts(2024, 7, 1)
+        intervals = list(service.intervals(start, start + 2 * HOUR))
+        families = {i.prefix.is_ipv4 for i in intervals}
+        assert families == {True, False}
+        times = [i.announce_time for i in intervals]
+        assert times == sorted(times)
+
+    def test_required_roas(self):
+        service = BeaconService(BeaconServiceConfig(v4_pool=POOL))
+        roas = service.required_roas(valid_from=100)
+        assert len(roas) == 2
+        v6_roa = next(r for r in roas if r.prefix.is_ipv6)
+        assert v6_roa.max_length == 48
+        assert v6_roa.asn == 210312
+        v4_roa = next(r for r in roas if r.prefix.is_ipv4)
+        assert v4_roa.max_length == 24
+
+    def test_roas_validate_every_beacon(self):
+        from repro.simulator import ROARegistry, ValidationState
+
+        service = BeaconService(BeaconServiceConfig(v4_pool=POOL))
+        registry = ROARegistry(service.required_roas())
+        start = ts(2024, 7, 1)
+        for interval in service.intervals(start, start + 3 * HOUR):
+            state = registry.validate(interval.prefix, 210312,
+                                      interval.announce_time)
+            assert state is ValidationState.VALID, str(interval.prefix)
+
+    def test_final_withdrawals(self):
+        service = BeaconService()
+        start = ts(2024, 7, 1)
+        withdrawals = service.final_withdrawals(start, start + DAY)
+        assert withdrawals
+        for prefix, when in withdrawals.items():
+            assert start < when <= start + DAY + 15 * MINUTE
+
+    def test_validate_window_clean(self):
+        service = BeaconService(BeaconServiceConfig(v4_pool=POOL))
+        start = ts(2024, 7, 1)
+        assert service.validate_window(start, start + DAY) == []
+
+    def test_validate_window_detects_overlap(self):
+        """A 24h-recycled v6 schedule with an artificial double booking
+        must be flagged."""
+        service = BeaconService(BeaconServiceConfig(
+            v6_approach=RecycleApproach.DAILY))
+        start = ts(2024, 7, 1)
+        # The daily approach never overlaps on its own...
+        assert service.validate_window(start, start + 2 * DAY) == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BeaconServiceConfig(v6_pool=Prefix("10.0.0.0/8"))
+        with pytest.raises(ValueError):
+            BeaconServiceConfig(v4_pool=Prefix("2001:db8::/32"))

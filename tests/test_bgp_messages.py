@@ -1,0 +1,117 @@
+"""Unit tests for repro.bgp.messages and repro.bgp.rib."""
+
+from repro.bgp import (
+    AdjRIB,
+    Announcement,
+    ASPath,
+    PathAttributes,
+    PeerState,
+    Route,
+    StateRecord,
+    UpdateRecord,
+    Withdrawal,
+    record_sort_key,
+)
+from repro.net import Prefix
+
+
+def make_attrs(*asns):
+    return PathAttributes(as_path=ASPath.of(*asns), next_hop="2001:db8::1")
+
+
+class TestRecords:
+    def test_announcement_record(self):
+        rec = UpdateRecord(100, "rrc00", "2001:db8::2", 25091,
+                           Announcement(Prefix("2a0d:3dc1::/48"), make_attrs(25091, 210312)))
+        assert rec.is_announcement
+        assert not rec.is_withdrawal
+        assert rec.prefix == Prefix("2a0d:3dc1::/48")
+        assert rec.attributes.origin_as == 210312
+
+    def test_withdrawal_record(self):
+        rec = UpdateRecord(100, "rrc00", "2001:db8::2", 25091,
+                           Withdrawal(Prefix("2a0d:3dc1::/48")))
+        assert rec.is_withdrawal
+        assert rec.attributes is None
+
+    def test_state_record_direction(self):
+        down = StateRecord(10, "rrc00", "2001:db8::2", 25091,
+                           PeerState.ESTABLISHED, PeerState.IDLE)
+        up = StateRecord(20, "rrc00", "2001:db8::2", 25091,
+                         PeerState.OPENCONFIRM, PeerState.ESTABLISHED)
+        assert down.is_session_down and not down.is_session_up
+        assert up.is_session_up and not up.is_session_down
+
+    def test_non_established_transition_neither(self):
+        rec = StateRecord(10, "rrc00", "::1", 1, PeerState.IDLE, PeerState.CONNECT)
+        assert not rec.is_session_down
+        assert not rec.is_session_up
+
+    def test_sort_key_state_before_update_same_instant(self):
+        state = StateRecord(100, "rrc00", "::1", 1,
+                            PeerState.OPENCONFIRM, PeerState.ESTABLISHED)
+        update = UpdateRecord(100, "rrc00", "::1", 1, Withdrawal(Prefix("::/0")))
+        assert sorted([update, state], key=record_sort_key)[0] is state
+
+    def test_sort_key_time_ordering(self):
+        early = UpdateRecord(50, "rrc00", "::1", 1, Withdrawal(Prefix("::/0")))
+        late = StateRecord(60, "rrc00", "::1", 1, PeerState.ESTABLISHED, PeerState.IDLE)
+        assert sorted([late, early], key=record_sort_key)[0] is early
+
+
+class TestAdjRIB:
+    def _route(self, prefix, *asns, at=0):
+        return Route(Prefix(prefix), make_attrs(*asns), at)
+
+    def test_empty(self):
+        rib = AdjRIB()
+        assert rib.is_empty
+        assert len(rib) == 0
+        assert rib.get(Prefix("::/0")) is None
+
+    def test_install_and_get(self):
+        rib = AdjRIB()
+        route = self._route("2a0d:3dc1::/48", 25091, 210312)
+        assert rib.install(route) is None
+        assert rib.get(Prefix("2a0d:3dc1::/48")) is route
+        assert Prefix("2a0d:3dc1::/48") in rib
+
+    def test_implicit_withdrawal_returns_previous(self):
+        rib = AdjRIB()
+        old = self._route("2a0d:3dc1::/48", 25091, 210312, at=1)
+        new = self._route("2a0d:3dc1::/48", 4637, 25091, 210312, at=2)
+        rib.install(old)
+        evicted = rib.install(new)
+        assert evicted is old
+        assert len(rib) == 1
+
+    def test_remove(self):
+        rib = AdjRIB()
+        route = self._route("2a0d:3dc1::/48", 25091, 210312)
+        rib.install(route)
+        assert rib.remove(route.prefix) is route
+        assert rib.is_empty
+
+    def test_remove_absent_is_none(self):
+        assert AdjRIB().remove(Prefix("::/0")) is None
+
+    def test_clear_returns_lost_routes(self):
+        rib = AdjRIB()
+        rib.install(self._route("2a0d:3dc1:1::/48", 1, 2))
+        rib.install(self._route("2a0d:3dc1:2::/48", 1, 2))
+        lost = rib.clear()
+        assert len(lost) == 2
+        assert rib.is_empty
+
+    def test_snapshot_is_copy(self):
+        rib = AdjRIB()
+        rib.install(self._route("2a0d:3dc1:1::/48", 1, 2))
+        snap = rib.snapshot()
+        rib.remove(Prefix("2a0d:3dc1:1::/48"))
+        assert Prefix("2a0d:3dc1:1::/48") in snap
+
+    def test_iteration(self):
+        rib = AdjRIB()
+        rib.install(self._route("2a0d:3dc1:1::/48", 1, 2))
+        assert list(rib.prefixes()) == [Prefix("2a0d:3dc1:1::/48")]
+        assert len(list(rib.routes())) == 1

@@ -1,0 +1,73 @@
+"""Unit tests for the Gao-Rexford policy model."""
+
+from repro.bgp import ASPath, PathAttributes, Relationship, compare_routes, preference_rank, should_export
+
+
+def attrs(*asns):
+    return PathAttributes(as_path=ASPath.of(*asns), next_hop="2001:db8::1")
+
+
+class TestPreference:
+    def test_order(self):
+        assert (preference_rank(Relationship.CUSTOMER)
+                < preference_rank(Relationship.PEER)
+                < preference_rank(Relationship.PROVIDER))
+
+    def test_inverse(self):
+        assert Relationship.CUSTOMER.inverse is Relationship.PROVIDER
+        assert Relationship.PROVIDER.inverse is Relationship.CUSTOMER
+        assert Relationship.PEER.inverse is Relationship.PEER
+
+
+class TestExport:
+    def test_local_routes_to_everyone(self):
+        for rel in Relationship:
+            assert should_export(None, rel)
+
+    def test_customer_routes_to_everyone(self):
+        for rel in Relationship:
+            assert should_export(Relationship.CUSTOMER, rel)
+
+    def test_peer_routes_only_to_customers(self):
+        assert should_export(Relationship.PEER, Relationship.CUSTOMER)
+        assert not should_export(Relationship.PEER, Relationship.PEER)
+        assert not should_export(Relationship.PEER, Relationship.PROVIDER)
+
+    def test_provider_routes_only_to_customers(self):
+        assert should_export(Relationship.PROVIDER, Relationship.CUSTOMER)
+        assert not should_export(Relationship.PROVIDER, Relationship.PEER)
+        assert not should_export(Relationship.PROVIDER, Relationship.PROVIDER)
+
+
+class TestDecision:
+    def test_customer_beats_shorter_provider_path(self):
+        # Customer route with longer path still wins (local-pref first).
+        result = compare_routes(Relationship.CUSTOMER, attrs(1, 2, 3, 4),
+                                Relationship.PROVIDER, attrs(9, 4),
+                                tiebreak_a=0, tiebreak_b=1)
+        assert result < 0
+
+    def test_shorter_path_wins_same_relationship(self):
+        result = compare_routes(Relationship.PEER, attrs(1, 4),
+                                Relationship.PEER, attrs(1, 2, 4),
+                                tiebreak_a=5, tiebreak_b=1)
+        assert result < 0
+
+    def test_tiebreak_lowest_wins(self):
+        result = compare_routes(Relationship.PEER, attrs(1, 4),
+                                Relationship.PEER, attrs(2, 4),
+                                tiebreak_a=7, tiebreak_b=3)
+        assert result > 0  # b has lower tiebreak, b wins
+
+    def test_local_origin_beats_everything(self):
+        result = compare_routes(None, attrs(4),
+                                Relationship.CUSTOMER, attrs(4),
+                                tiebreak_a=9, tiebreak_b=0)
+        assert result < 0
+
+    def test_antisymmetry(self):
+        forward = compare_routes(Relationship.PEER, attrs(1, 4),
+                                 Relationship.CUSTOMER, attrs(1, 2, 4), 1, 2)
+        backward = compare_routes(Relationship.CUSTOMER, attrs(1, 2, 4),
+                                  Relationship.PEER, attrs(1, 4), 2, 1)
+        assert (forward > 0) == (backward < 0)

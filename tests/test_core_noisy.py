@@ -1,0 +1,85 @@
+"""Tests for noisy-peer detection."""
+
+import pytest
+from helpers import ann, interval, wd
+
+from repro.core import DetectorConfig, NoisyPeerDetector, ZombieDetector
+from repro.utils.timeutil import HOUR, ts
+
+P_TEMPLATE = "2a0d:3dc1:{}::/48"
+T0 = ts(2024, 6, 5)
+
+CLEAN_ADDR = "2001:db8::2"
+NOISY_ADDR = "176.119.234.201"
+
+
+def build_result(n_intervals=40, noisy_stick_every=2, clean_stick_every=40):
+    """A detection run where the noisy peer sticks 50% of the time and
+    the clean peer 2.5% of the time."""
+    intervals = []
+    records = []
+    for i in range(n_intervals):
+        prefix = P_TEMPLATE.format(format(i, "x"))
+        t = T0 + i * 4 * HOUR
+        intervals.append(interval(prefix, t, t + 900))
+        records.append(ann(t + 2, prefix, 25091, 210312, origin_time=t,
+                           addr=CLEAN_ADDR, peer_asn=25091))
+        records.append(ann(t + 3, prefix, 211509, 210312, origin_time=t,
+                           addr=NOISY_ADDR, peer_asn=211509))
+        if i % clean_stick_every != 1:
+            records.append(wd(t + 903, prefix, addr=CLEAN_ADDR, peer_asn=25091))
+        if i % noisy_stick_every != 1:
+            records.append(wd(t + 904, prefix, addr=NOISY_ADDR, peer_asn=211509))
+    detector = ZombieDetector(DetectorConfig())
+    return detector.detect(records, intervals)
+
+
+class TestNoisyPeerDetector:
+    def test_flags_the_noisy_peer(self):
+        result = build_result()
+        report = NoisyPeerDetector().analyze(result)
+        assert report.noisy_keys == {("rrc00", NOISY_ADDR)}
+        assert report.noisy_asns == {211509}
+
+    def test_stats_probabilities(self):
+        result = build_result()
+        report = NoisyPeerDetector().analyze(result)
+        stats = {s.peer: s for s in report.stats}
+        noisy = stats[("rrc00", NOISY_ADDR)]
+        clean = stats[("rrc00", CLEAN_ADDR)]
+        assert noisy.probability == pytest.approx(0.5)
+        assert clean.probability == pytest.approx(1 / 40)
+
+    def test_clean_mean_excludes_noisy(self):
+        result = build_result()
+        report = NoisyPeerDetector().analyze(result)
+        assert report.clean_mean_probability() == pytest.approx(1 / 40)
+
+    def test_min_visible_guard(self):
+        result = build_result(n_intervals=4)
+        report = NoisyPeerDetector(min_visible=10).analyze(result)
+        assert report.noisy == []
+
+    def test_floor_guard(self):
+        result = build_result()
+        report = NoisyPeerDetector(floor=0.9).analyze(result)
+        assert report.noisy == []
+
+    def test_ratio_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            NoisyPeerDetector(ratio=0.5)
+
+    def test_exclusion_roundtrip(self):
+        """Feeding the noisy report back into the detector config removes
+        the noisy peer's zombies — the paper's §3.2 workflow."""
+        result = build_result()
+        report = NoisyPeerDetector().analyze(result)
+        # Rebuild with exclusions; count should drop to the clean peer's.
+        records = []
+        intervals = []
+        for o in result.outbreaks:
+            intervals.append(o.interval)
+        clean_config = DetectorConfig(excluded_peers=report.noisy_keys)
+        assert ("rrc00", NOISY_ADDR) in clean_config.excluded_peers
+        assert clean_config.excludes(("rrc00", NOISY_ADDR), 211509)
+        assert not clean_config.excludes(("rrc00", CLEAN_ADDR), 25091)

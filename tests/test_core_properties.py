@@ -1,0 +1,143 @@
+"""Property-based tests on detector invariants and substrate codecs."""
+
+import ipaddress
+
+from helpers import ann, interval, wd
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp import ASPath, PathAttributes
+from repro.core import DetectorConfig, ZombieDetector
+from repro.mrt import RibDump, decode_rib_dump, encode_rib_dump
+from repro.net import Prefix
+from repro.utils.timeutil import HOUR, ts
+
+T0 = ts(2024, 6, 5)
+PREFIXES = [f"2a0d:3dc1:{i:x}::/48" for i in range(1, 9)]
+
+
+@st.composite
+def record_schedules(draw):
+    """Random per-peer behaviours over a handful of beacon intervals:
+    each (prefix, peer) either withdraws on time, withdraws late, never
+    withdraws, or stays invisible."""
+    n_prefixes = draw(st.integers(min_value=1, max_value=4))
+    n_peers = draw(st.integers(min_value=1, max_value=3))
+    intervals = []
+    records = []
+    for p_index in range(n_prefixes):
+        prefix = PREFIXES[p_index]
+        iv = interval(prefix, T0, T0 + 900)
+        intervals.append(iv)
+        for peer_index in range(n_peers):
+            addr = f"2001:db8::{peer_index + 1}"
+            behaviour = draw(st.sampled_from(
+                ["clean", "late", "stuck", "invisible"]))
+            if behaviour == "invisible":
+                continue
+            records.append(ann(T0 + 2 + peer_index, prefix, 25091, 210312,
+                               addr=addr, peer_asn=25091, origin_time=T0))
+            if behaviour == "clean":
+                records.append(wd(T0 + 905, prefix, addr=addr, peer_asn=25091))
+            elif behaviour == "late":
+                late_by = draw(st.integers(min_value=1, max_value=5 * HOUR))
+                records.append(wd(T0 + 900 + late_by, prefix, addr=addr,
+                                  peer_asn=25091))
+    return records, intervals
+
+
+class TestDetectorInvariants:
+    @given(record_schedules())
+    @settings(max_examples=40, deadline=None)
+    def test_dedup_never_adds_outbreaks(self, data):
+        records, intervals = data
+        with_dc = ZombieDetector(DetectorConfig(dedup=False)).detect(
+            records, intervals)
+        without_dc = ZombieDetector(DetectorConfig(dedup=True)).detect(
+            records, intervals)
+        keys_with = {(str(o.prefix), o.interval.announce_time)
+                     for o in with_dc.outbreaks}
+        keys_without = {(str(o.prefix), o.interval.announce_time)
+                        for o in without_dc.outbreaks}
+        assert keys_without <= keys_with
+
+    @given(record_schedules(),
+           st.integers(min_value=30, max_value=120),
+           st.integers(min_value=121, max_value=400))
+    @settings(max_examples=40, deadline=None)
+    def test_zombie_routes_monotone_in_threshold(self, data, low_min, high_min):
+        """Every zombie route alive at a larger threshold was also alive
+        at a smaller one — unless a late announcement resurrected it, in
+        which case the route reappears; outbreak *routes that persist*
+        still satisfy monotonicity per (peer, no-reannounce) schedules
+        generated here (withdraw-only behaviours)."""
+        records, intervals = data
+        low = ZombieDetector(DetectorConfig(threshold=low_min * 60)).detect(
+            records, intervals)
+        high = ZombieDetector(DetectorConfig(threshold=high_min * 60)).detect(
+            records, intervals)
+
+        def route_keys(result):
+            return {(str(r.prefix), r.peer) for o in result.outbreaks
+                    for r in o.routes}
+
+        assert route_keys(high) <= route_keys(low)
+
+    @given(record_schedules())
+    @settings(max_examples=40, deadline=None)
+    def test_exclusion_only_removes(self, data):
+        records, intervals = data
+        full = ZombieDetector(DetectorConfig()).detect(records, intervals)
+        excluded = ZombieDetector(DetectorConfig(
+            excluded_peers=frozenset({("rrc00", "2001:db8::1")}))).detect(
+            records, intervals)
+
+        def route_keys(result):
+            return {(str(r.prefix), r.peer) for o in result.outbreaks
+                    for r in o.routes}
+
+        assert route_keys(excluded) <= route_keys(full)
+        assert all(peer != ("rrc00", "2001:db8::1")
+                   for _, peer in route_keys(excluded))
+
+    @given(record_schedules())
+    @settings(max_examples=40, deadline=None)
+    def test_outbreak_counts_bounded_by_visibility(self, data):
+        records, intervals = data
+        result = ZombieDetector(DetectorConfig()).detect(records, intervals)
+        assert result.outbreak_count <= result.visible_count
+        assert 0.0 <= result.outbreak_fraction() <= 1.0
+
+
+@st.composite
+def rib_dumps(draw):
+    dump = RibDump(draw(st.integers(min_value=0, max_value=2**31)), "rrc00")
+    n_routes = draw(st.integers(min_value=0, max_value=6))
+    for index in range(n_routes):
+        host = draw(st.integers(min_value=1, max_value=0xFFFF))
+        prefix = Prefix(f"2a0d:3dc1:{host:x}::/48")
+        asns = draw(st.lists(st.integers(min_value=1, max_value=2**31),
+                             min_size=1, max_size=6))
+        attrs = PathAttributes(as_path=ASPath(tuple(asns)),
+                               next_hop="2001:db8::1")
+        dump.add_route(prefix, asns[0] % 65000 + 1, f"2001:db8::{index + 1}",
+                       attrs, draw(st.integers(min_value=0, max_value=2**31)))
+    return dump
+
+
+class TestRibDumpProperty:
+    @given(rib_dumps())
+    @settings(max_examples=30, deadline=None)
+    def test_codec_roundtrip(self, dump):
+        if not dump.peers:
+            dump.peer_index(1, "::1")  # decoder needs a peer table
+        decoded = decode_rib_dump(encode_rib_dump(dump))
+        assert decoded.timestamp == dump.timestamp
+        assert decoded.peers == dump.peers
+        assert set(decoded.entries) == set(dump.entries)
+        for prefix in dump.entries:
+            original = [(e.peer_index, e.originated_time, e.attributes.as_path)
+                        for e in dump.entries[prefix]]
+            roundtrip = [(e.peer_index, e.originated_time, e.attributes.as_path)
+                         for e in decoded.entries[prefix]]
+            assert original == roundtrip

@@ -1,0 +1,109 @@
+"""Tests for palm-tree root-cause inference."""
+
+from helpers import ann, interval
+
+from repro.core import ZombieOutbreak, ZombieRoute, infer_root_cause, infer_root_causes
+from repro.net import Prefix
+from repro.utils.timeutil import ts
+
+P = "2a0d:3dc1:2233::/48"
+T0 = ts(2024, 6, 7)
+
+
+def outbreak_from_paths(paths):
+    iv = interval(P, T0, T0 + 900)
+    routes = []
+    for index, path in enumerate(paths):
+        record = ann(T0 + 2, P, *path, addr=f"2001:db8::{index + 1}",
+                     peer_asn=path[0])
+        routes.append(ZombieRoute(interval=iv, peer=("rrc00", f"2001:db8::{index + 1}"),
+                                  peer_asn=path[0], detected_at=T0 + 6300,
+                                  announcement=record))
+    return ZombieOutbreak(iv, tuple(routes))
+
+
+class TestPalmTree:
+    def test_paper_impactful_zombie_shape(self):
+        """All routes share the subpath 33891 25091 8298 210312 and then
+        branch — the suspect must be AS33891 (§5.2)."""
+        outbreak = outbreak_from_paths([
+            (64801, 33891, 25091, 8298, 210312),
+            (64802, 33891, 25091, 8298, 210312),
+            (64803, 64900, 33891, 25091, 8298, 210312),
+        ])
+        inference = infer_root_cause(outbreak, origin_asn=210312)
+        assert inference.suspect == 33891
+        assert inference.tree.trunk == (210312, 8298, 25091, 33891)
+
+    def test_single_path_suspect_is_peer_adjacent(self):
+        """With one zombie route the trunk stops before the observing
+        peer (a pure observer); the suspect is the AS that fed it."""
+        outbreak = outbreak_from_paths([(9304, 6939, 43100, 25091, 8298, 210312)])
+        inference = infer_root_cause(outbreak, origin_asn=210312)
+        assert inference.tree.trunk == (210312, 8298, 25091, 43100, 6939)
+        assert inference.suspect == 6939
+
+    def test_branch_at_origin_gives_no_suspect(self):
+        outbreak = outbreak_from_paths([
+            (64801, 210312),
+            (64802, 210312),
+        ])
+        inference = infer_root_cause(outbreak, origin_asn=210312)
+        assert inference.suspect is None
+        assert inference.tree.trunk == (210312,)
+
+    def test_branches_collected(self):
+        outbreak = outbreak_from_paths([
+            (64801, 33891, 25091, 8298, 210312),
+            (64802, 33891, 25091, 8298, 210312),
+        ])
+        inference = infer_root_cause(outbreak, origin_asn=210312)
+        assert inference.tree.branches == frozenset({64801, 64802})
+
+    def test_paths_not_rooted_at_origin_ignored(self):
+        outbreak = outbreak_from_paths([
+            (64801, 33891, 25091, 8298, 210312),
+            (64803, 33891, 25091, 8298, 210312),
+            (64802, 99999),  # bogus path to another origin
+        ])
+        inference = infer_root_cause(outbreak, origin_asn=210312)
+        assert inference.suspect == 33891
+
+    def test_peer_on_trunk_stops_walk(self):
+        """If one zombie peer IS on the trunk, the trunk cannot extend
+        past it."""
+        outbreak = outbreak_from_paths([
+            (33891, 25091, 8298, 210312),
+            (64900, 33891, 25091, 8298, 210312),
+        ])
+        inference = infer_root_cause(outbreak, origin_asn=210312)
+        assert inference.tree.trunk == (210312, 8298, 25091, 33891)
+        assert inference.suspect == 33891
+
+    def test_batch(self):
+        outbreaks = [
+            outbreak_from_paths([(64801, 33891, 25091, 8298, 210312)]),
+            outbreak_from_paths([(64801, 9304, 6939, 43100, 25091, 8298, 210312)]),
+        ]
+        inferences = infer_root_causes(outbreaks, 210312)
+        assert len(inferences) == 2
+
+
+class TestCommonSubpath:
+    def test_common_suffix(self):
+        outbreak = outbreak_from_paths([
+            (64801, 33891, 25091, 8298, 210312),
+            (64803, 64900, 33891, 25091, 8298, 210312),
+        ])
+        assert outbreak.common_subpath() == (33891, 25091, 8298, 210312)
+
+    def test_identical_paths(self):
+        outbreak = outbreak_from_paths([
+            (9304, 6939, 43100, 25091, 8298, 210312),
+            (9304, 6939, 43100, 25091, 8298, 210312),
+        ])
+        assert outbreak.common_subpath() == (9304, 6939, 43100, 25091, 8298, 210312)
+
+    def test_no_common(self):
+        outbreak = outbreak_from_paths([(64801, 210312), (64802, 99999)])
+        assert outbreak.common_subpath() == ()

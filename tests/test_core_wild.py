@@ -1,0 +1,133 @@
+"""Tests for wild (non-beacon) zombie detection."""
+
+import pytest
+from helpers import ann, wd
+
+from repro.core.wild import (
+    WildConfig,
+    detect_wild_zombies,
+    find_complete_withdrawals,
+)
+from repro.net import Prefix
+from repro.utils.timeutil import HOUR, MINUTE, ts
+
+P = "2001:db8:77::/48"
+T0 = ts(2021, 3, 1)
+
+PEERS = [(f"rrc{i % 4:02d}", f"2001:db8::{i + 1}") for i in range(6)]
+
+
+def full_announce(prefix=P, at=T0):
+    return [ann(at + i, prefix, 25091, 64500, collector=c, addr=a,
+                peer_asn=25091)
+            for i, (c, a) in enumerate(PEERS)]
+
+
+def withdrawals(peers, prefix=P, at=T0 + HOUR):
+    return [wd(at + i, prefix, collector=c, addr=a, peer_asn=25091)
+            for i, (c, a) in enumerate(peers)]
+
+
+class TestFindCompleteWithdrawals:
+    def test_full_burst_classified(self):
+        records = full_announce() + withdrawals(PEERS)
+        (event,) = find_complete_withdrawals(records)
+        assert event.prefix == Prefix(P)
+        assert event.coverage == 1.0
+        assert event.visible_peers == 6
+        assert event.start == T0 + HOUR
+
+    def test_partial_burst_is_local_change(self):
+        """Only 2 of 6 peers withdraw: a local topology change, not a
+        complete withdrawal."""
+        records = full_announce() + withdrawals(PEERS[:2])
+        assert find_complete_withdrawals(records) == []
+
+    def test_visibility_fraction_knob(self):
+        records = full_announce() + withdrawals(PEERS[:4])
+        strict = find_complete_withdrawals(records,
+                                           WildConfig(visibility_fraction=0.9))
+        lax = find_complete_withdrawals(records,
+                                        WildConfig(visibility_fraction=0.5))
+        assert strict == []
+        assert len(lax) == 1
+
+    def test_slow_spread_not_one_event(self):
+        """Withdrawals spread over hours exceed the propagation window
+        and never reach the coverage bar inside one burst."""
+        records = full_announce()
+        for i, (c, a) in enumerate(PEERS):
+            records.append(wd(T0 + HOUR + i * 30 * MINUTE, P,
+                              collector=c, addr=a, peer_asn=25091))
+        assert find_complete_withdrawals(records) == []
+
+    def test_min_peer_guard(self):
+        two_peers = PEERS[:2]
+        records = [ann(T0 + i, P, 25091, 64500, collector=c, addr=a,
+                       peer_asn=25091)
+                   for i, (c, a) in enumerate(two_peers)]
+        records += withdrawals(two_peers)
+        assert find_complete_withdrawals(records) == []
+
+    def test_prefix_filter(self):
+        records = full_announce() + withdrawals(PEERS)
+        events = find_complete_withdrawals(
+            records, prefixes=[Prefix("2001:db8:aa::/48")])
+        assert events == []
+
+    def test_two_events_same_prefix(self):
+        records = (full_announce(at=T0) + withdrawals(PEERS, at=T0 + HOUR)
+                   + full_announce(at=T0 + 5 * HOUR)
+                   + withdrawals(PEERS, at=T0 + 8 * HOUR))
+        events = find_complete_withdrawals(records)
+        assert len(events) == 2
+        assert events[0].start == T0 + HOUR
+        assert events[1].start == T0 + 8 * HOUR
+
+
+class TestDetectWildZombies:
+    def test_stuck_peer_detected(self):
+        """Five of six peers withdraw in a burst; the sixth never does —
+        a wild zombie."""
+        records = full_announce() + withdrawals(PEERS[:5])
+        result = detect_wild_zombies(records)
+        assert result.outbreak_count == 1
+        (outbreak,) = result.outbreaks
+        assert outbreak.size == 1
+        assert outbreak.routes[0].peer == PEERS[5]
+
+    def test_clean_complete_withdrawal_no_zombie(self):
+        records = full_announce() + withdrawals(PEERS)
+        result = detect_wild_zombies(records)
+        assert result.outbreak_count == 0
+
+    def test_late_withdrawal_still_zombie_at_threshold(self):
+        records = full_announce() + withdrawals(PEERS[:5])
+        # The straggler withdraws 4 hours later: stuck at +90min.
+        c, a = PEERS[5]
+        records.append(wd(T0 + 5 * HOUR, P, collector=c, addr=a,
+                          peer_asn=25091))
+        result = detect_wild_zombies(records)
+        assert result.outbreak_count == 1
+        result_long = detect_wild_zombies(
+            records, WildConfig(threshold=6 * HOUR))
+        assert result_long.outbreak_count == 0
+
+    def test_local_change_produces_no_intervals(self):
+        records = full_announce() + withdrawals(PEERS[:2])
+        result = detect_wild_zombies(records)
+        assert result.outbreak_count == 0
+        assert result.visible_count == 0
+
+    def test_beacons_vs_wild_comparison(self):
+        """The §2 claim is testable: run the wild pipeline over beacon
+        traffic from a simulated world and get the same kind of result
+        object as the beacon pipeline."""
+        from repro.experiments import replication_run
+
+        run = replication_run("2018", days=2)
+        result = detect_wild_zombies(
+            run.records, WildConfig(visibility_fraction=0.7))
+        # Complete withdrawals are found for the beacons (they really are
+        # withdrawn everywhere every cycle).
+        assert result.visible_count > 0

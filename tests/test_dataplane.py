@@ -1,0 +1,230 @@
+"""Tests for the data-plane substrate: FIBs, packet walks, and the
+paper's Fig. 1 loop/partial-outage scenario."""
+
+import pytest
+
+from repro.dataplane import (
+    ForwardingTable,
+    HopOutcome,
+    assess_impact,
+    fig1_scenario_outcomes,
+    forward_packet,
+    traceroute,
+)
+from repro.net import Prefix
+from repro.simulator import BGPWorld, FaultPlan, WithdrawalSuppression
+from repro.topology import ASTopology
+
+HOST = Prefix("2001:db8::1/128")
+
+
+class TestForwardingTable:
+    def test_longest_prefix_match(self):
+        table = ForwardingTable(1)
+        table.install(Prefix("2001:db8::/32"), 10)
+        table.install(Prefix("2001:db8::/48"), 20)
+        match = table.lookup(HOST)
+        assert match == (Prefix("2001:db8::/48"), 20)
+
+    def test_no_match(self):
+        table = ForwardingTable(1)
+        table.install(Prefix("2a0d:3dc1::/32"), 10)
+        assert table.lookup(HOST) is None
+
+    def test_local_delivery(self):
+        table = ForwardingTable(1)
+        table.install(Prefix("2001:db8::/32"), None)
+        assert table.lookup(HOST) == (Prefix("2001:db8::/32"), None)
+
+    def test_remove(self):
+        table = ForwardingTable(1)
+        table.install(Prefix("2001:db8::/32"), 10)
+        table.remove(Prefix("2001:db8::/32"))
+        assert Prefix("2001:db8::/32") not in table
+        assert len(table) == 0
+
+
+class TestForwardPacket:
+    def _tables(self):
+        """1 -> 2 -> 3 (delivery at 3)."""
+        t1, t2, t3 = ForwardingTable(1), ForwardingTable(2), ForwardingTable(3)
+        prefix = Prefix("2001:db8::/32")
+        t1.install(prefix, 2)
+        t2.install(prefix, 3)
+        t3.install(prefix, None)
+        return {1: t1, 2: t2, 3: t3}
+
+    def test_delivery(self):
+        walk = forward_packet(self._tables(), 1, HOST)
+        assert walk.outcome is HopOutcome.DELIVERED
+        assert walk.path == (1, 2, 3)
+        assert walk.hop_count == 2
+        assert walk.delivered
+
+    def test_blackhole(self):
+        tables = self._tables()
+        tables[2].remove(Prefix("2001:db8::/32"))
+        walk = forward_packet(tables, 1, HOST)
+        assert walk.outcome is HopOutcome.BLACKHOLED
+        assert walk.path == (1, 2)
+
+    def test_loop_detected(self):
+        tables = self._tables()
+        tables[3].install(Prefix("2001:db8::/32"), 2)  # 3 sends back to 2
+        walk = forward_packet(tables, 1, HOST)
+        assert walk.outcome is HopOutcome.LOOPED
+        assert walk.path[-1] == 2
+
+    def test_ttl_expiry(self):
+        # A long chain exceeding the budget.
+        tables = {}
+        prefix = Prefix("2001:db8::/32")
+        for asn in range(1, 100):
+            table = ForwardingTable(asn)
+            table.install(prefix, asn + 1)
+            tables[asn] = table
+        walk = forward_packet(tables, 1, HOST, ttl=10)
+        assert walk.outcome is HopOutcome.TTL_EXPIRED
+        assert walk.hop_count == 10
+
+    def test_source_delivers_locally(self):
+        tables = self._tables()
+        walk = forward_packet(tables, 3, HOST)
+        assert walk.outcome is HopOutcome.DELIVERED
+        assert walk.path == (3,)
+
+    def test_str(self):
+        walk = forward_packet(self._tables(), 1, HOST)
+        assert "AS1 -> AS2 -> AS3" in str(walk)
+
+
+def zombie_world():
+    """chain 10 <- 20 <- 30 <- 40 with a zombie at 40 after withdrawal."""
+    topo = ASTopology()
+    for asn in (10, 20, 30, 40):
+        topo.add_as(asn)
+    topo.add_provider_customer(20, 10)
+    topo.add_provider_customer(30, 20)
+    topo.add_provider_customer(40, 30)
+    plan = FaultPlan([WithdrawalSuppression(src=30, dst=40, start=0,
+                                            end=10**9)])
+    world = BGPWorld(topo, seed=1, fault_plan=plan)
+    prefix = Prefix("2a0d:3dc1:1145::/48")
+    origin = world.routers[10]
+    attrs = world.beacon_attributes(10, 0)
+    world.engine.schedule(1.0, lambda: origin.originate(prefix, attrs))
+    world.engine.schedule(900.0, lambda: origin.withdraw_origin(prefix))
+    world.run_until(7200)
+    return world, prefix
+
+
+class TestZombieTrafficImpact:
+    def test_traceroute_into_zombie_blackholes(self):
+        """Traffic from the zombie holder follows the stale route toward
+        ASes that already withdrew — and dies there (Fig. 1's drop)."""
+        world, prefix = zombie_world()
+        walk = traceroute(world, 40, prefix)
+        assert walk.outcome is HopOutcome.BLACKHOLED
+        assert walk.path[0] == 40
+        assert len(walk.path) >= 2  # it was actively misrouted
+
+    def test_clean_as_unaffected(self):
+        world, prefix = zombie_world()
+        walk = traceroute(world, 20, prefix)
+        # AS20 withdrew: immediate blackhole at the source, no misrouting.
+        assert walk.outcome is HopOutcome.BLACKHOLED
+        assert walk.hop_count == 0
+
+    def test_impact_report(self):
+        world, prefix = zombie_world()
+        report = assess_impact(world, prefix)
+        assert report.total == 4
+        assert report.count(HopOutcome.BLACKHOLED) == 4
+        # Only AS40's traffic is actively misrouted (hops > 0).
+        assert report.affected_fraction == pytest.approx(1 / 4)
+
+    def test_impact_before_withdrawal_all_delivered(self):
+        topo = ASTopology()
+        for asn in (10, 20):
+            topo.add_as(asn)
+        topo.add_provider_customer(20, 10)
+        world = BGPWorld(topo, seed=1)
+        prefix = Prefix("2a0d:3dc1:1145::/48")
+        origin = world.routers[10]
+        world.engine.schedule(1.0, lambda: origin.originate(
+            prefix, world.beacon_attributes(10, 0)))
+        world.run_until_idle()
+        report = assess_impact(world, prefix)
+        assert report.count(HopOutcome.DELIVERED) == 2
+        assert report.affected_fraction == 0.0
+
+
+class TestFig1Scenario:
+    def test_partial_outage_loop(self):
+        """The paper's Fig. 1: AS1 sells the /32 to AS2 and withdraws its
+        /48; the withdrawal never reaches AS3, which keeps the zombie
+        /48.  Traffic to an address inside the /48 loops between ASX and
+        AS1 (longest-prefix matching prefers the zombie /48)."""
+        topo = ASTopology()
+        # Fig. 1 cast: AS1 (old origin), ASX (its upstream), AS3 (tier-1
+        # that keeps the zombie), AS2 (new /32 owner), ASY (the user).
+        as1, asx, as3, as2, asy = 101, 102, 103, 104, 105
+        for asn in (as1, asx, as3, as2, asy):
+            topo.add_as(asn)
+        topo.add_provider_customer(asx, as1)
+        topo.add_provider_customer(as3, asx)
+        topo.add_provider_customer(as3, as2)
+        topo.add_provider_customer(as3, asy)
+
+        covering = Prefix("2001:db8::/32")
+        covered = Prefix("2001:db8::/48")
+
+        # 2: ASX removes the /48 but fails to propagate the withdrawal
+        # to AS3 (the zombie stays in the dominant AS3).
+        plan = FaultPlan([WithdrawalSuppression(src=asx, dst=as3, start=0,
+                                                end=10**9)])
+        world = BGPWorld(topo, seed=3, fault_plan=plan)
+
+        r1, r2 = world.routers[as1], world.routers[as2]
+        # 1: AS1 originates the /48, then stops advertising it.
+        world.engine.schedule(1.0, lambda: r1.originate(
+            covered, world.beacon_attributes(as1, 0)))
+        world.engine.schedule(600.0, lambda: r1.withdraw_origin(covered))
+        # 4: AS2 announces the covering /32.
+        world.engine.schedule(900.0, lambda: r2.originate(
+            covering, world.beacon_attributes(as2, 0)))
+        world.run_until(7200)
+
+        # AS3 holds the zombie /48; everyone holds the /32.
+        assert world.routers[as3].has_route(covered)
+        assert world.routers[asy].has_route(covering)
+
+        # 6-7: ASY sends traffic to 2001:db8::1 — it follows the zombie
+        # /48 to ASX, which only has the /32 back via AS3: a loop.
+        outcomes = fig1_scenario_outcomes(world, covering, covered, [asy])
+        walk = outcomes[asy]
+        assert walk.outcome is HopOutcome.LOOPED
+        assert as3 in walk.path and asx in walk.path
+
+    def test_no_zombie_no_outage(self):
+        """Without the suppression, the same scenario delivers to AS2."""
+        topo = ASTopology()
+        as1, asx, as3, as2, asy = 101, 102, 103, 104, 105
+        for asn in (as1, asx, as3, as2, asy):
+            topo.add_as(asn)
+        topo.add_provider_customer(asx, as1)
+        topo.add_provider_customer(as3, asx)
+        topo.add_provider_customer(as3, as2)
+        topo.add_provider_customer(as3, asy)
+        covering, covered = Prefix("2001:db8::/32"), Prefix("2001:db8::/48")
+        world = BGPWorld(topo, seed=3)
+        r1, r2 = world.routers[as1], world.routers[as2]
+        world.engine.schedule(1.0, lambda: r1.originate(
+            covered, world.beacon_attributes(as1, 0)))
+        world.engine.schedule(600.0, lambda: r1.withdraw_origin(covered))
+        world.engine.schedule(900.0, lambda: r2.originate(
+            covering, world.beacon_attributes(as2, 0)))
+        world.run_until(7200)
+        outcomes = fig1_scenario_outcomes(world, covering, covered, [asy])
+        assert outcomes[asy].outcome is HopOutcome.DELIVERED
+        assert outcomes[asy].path[-1] == as2

@@ -1,0 +1,80 @@
+"""Round-trip tests for TABLE_DUMP_V2 RIB dumps."""
+
+import pytest
+
+from repro.bgp import ASPath, PathAttributes
+from repro.mrt import RibDump, RibPeer, decode_rib_dump, encode_rib_dump
+from repro.net import Prefix
+
+
+def attrs(*asns, next_hop="2001:db8::1"):
+    return PathAttributes(as_path=ASPath.of(*asns), next_hop=next_hop)
+
+
+def sample_dump():
+    dump = RibDump(timestamp=1718000000, collector="rrc25")
+    dump.add_route(Prefix("2a0d:3dc1:163::/48"), 9304, "2001:db8:9304::1",
+                   attrs(9304, 6939, 43100, 25091, 8298, 210312), 1717000000)
+    dump.add_route(Prefix("2a0d:3dc1:163::/48"), 17639, "2001:db8:1763::9",
+                   attrs(17639, 9304, 6939, 43100, 25091, 8298, 210312), 1717000050)
+    dump.add_route(Prefix("93.175.144.0/24"), 211509, "176.119.234.201",
+                   attrs(211509, 12654, next_hop="192.0.2.1"), 1717000100)
+    return dump
+
+
+class TestRibDumpModel:
+    def test_peer_index_dedup(self):
+        dump = RibDump(0, "rrc00")
+        a = dump.peer_index(1, "::1")
+        b = dump.peer_index(1, "::1")
+        c = dump.peer_index(2, "::2")
+        assert a == b == 0
+        assert c == 1
+
+    def test_same_asn_different_routers_distinct(self):
+        """AS211509 peers with two routers; they must be distinct peers."""
+        dump = RibDump(0, "rrc25")
+        i = dump.peer_index(211509, "176.119.234.201")
+        j = dump.peer_index(211509, "2001:678:3f4:5::1")
+        assert i != j
+
+    def test_peers_holding(self):
+        dump = sample_dump()
+        holders = dump.peers_holding(Prefix("2a0d:3dc1:163::/48"))
+        assert holders == {(9304, "2001:db8:9304::1"), (17639, "2001:db8:1763::9")}
+
+    def test_routes_for_absent_prefix(self):
+        assert sample_dump().routes_for(Prefix("2001:db8::/32")) == []
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        dump = sample_dump()
+        blob = encode_rib_dump(dump)
+        decoded = decode_rib_dump(blob)
+        assert decoded.timestamp == dump.timestamp
+        assert decoded.collector == "rrc25"
+        assert decoded.peers == dump.peers
+        assert set(decoded.entries) == set(dump.entries)
+        for prefix, entries in dump.entries.items():
+            got = decoded.entries[prefix]
+            assert [e.peer_index for e in got] == [e.peer_index for e in entries]
+            assert [e.originated_time for e in got] == [e.originated_time for e in entries]
+            assert [e.attributes.as_path for e in got] == [e.attributes.as_path for e in entries]
+
+    def test_roundtrip_preserves_v4_next_hop(self):
+        dump = sample_dump()
+        decoded = decode_rib_dump(encode_rib_dump(dump))
+        (peer, entry), = decoded.routes_for(Prefix("93.175.144.0/24"))
+        assert peer.asn == 211509
+        assert entry.attributes.next_hop == "192.0.2.1"
+
+    def test_empty_dump_raises(self):
+        with pytest.raises(ValueError):
+            decode_rib_dump(b"")
+
+    def test_dump_with_no_routes(self):
+        dump = RibDump(5, "rrc00", peers=[RibPeer(1, "::1")])
+        decoded = decode_rib_dump(encode_rib_dump(dump))
+        assert decoded.entries == {}
+        assert decoded.peers == [RibPeer(1, "::1")]

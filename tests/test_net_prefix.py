@@ -1,0 +1,121 @@
+"""Unit tests for repro.net.prefix."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import AFI_IPV4, AFI_IPV6, Prefix
+
+
+class TestConstruction:
+    def test_ipv4(self):
+        p = Prefix("93.175.144.0/24")
+        assert p.is_ipv4
+        assert p.afi == AFI_IPV4
+        assert p.prefixlen == 24
+
+    def test_ipv6(self):
+        p = Prefix("2a0d:3dc1:1145::/48")
+        assert p.is_ipv6
+        assert p.afi == AFI_IPV6
+        assert p.prefixlen == 48
+
+    def test_from_network_object(self):
+        net = ipaddress.ip_network("10.0.0.0/8")
+        assert str(Prefix(net)) == "10.0.0.0/8"
+
+    def test_copy_constructor(self):
+        p = Prefix("10.0.0.0/8")
+        assert Prefix(p) == p
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix("10.0.0.1/8")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix("not-a-prefix")
+
+
+class TestSemantics:
+    def test_equality_and_hash(self):
+        a = Prefix("2001:db8::/32")
+        b = Prefix("2001:db8::/32")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a == "2001:db8::/32"
+
+    def test_inequality_across_family(self):
+        assert Prefix("10.0.0.0/8") != Prefix("2001:db8::/32")
+
+    def test_contains_more_specific(self):
+        assert Prefix("2001:db8::/32").contains(Prefix("2001:db8::/48"))
+
+    def test_contains_self(self):
+        p = Prefix("10.0.0.0/8")
+        assert p.contains(p)
+
+    def test_not_contains_less_specific(self):
+        assert not Prefix("2001:db8::/48").contains(Prefix("2001:db8::/32"))
+
+    def test_contains_rejects_cross_family(self):
+        assert not Prefix("10.0.0.0/8").contains(Prefix("2001:db8::/32"))
+
+    def test_ordering_v4_before_v6(self):
+        assert Prefix("255.0.0.0/8") < Prefix("::/0")
+
+    def test_sortable(self):
+        prefixes = [Prefix("10.2.0.0/16"), Prefix("10.1.0.0/16")]
+        assert sorted(prefixes)[0] == Prefix("10.1.0.0/16")
+
+
+class TestWire:
+    def test_roundtrip_v4(self):
+        p = Prefix("93.175.144.0/20")
+        wire = p.wire_bytes()
+        decoded, consumed = Prefix.from_wire(wire, AFI_IPV4)
+        assert decoded == p
+        assert consumed == len(wire)
+
+    def test_roundtrip_v6(self):
+        p = Prefix("2a0d:3dc1:1145::/48")
+        decoded, consumed = Prefix.from_wire(p.wire_bytes(), AFI_IPV6)
+        assert decoded == p
+        assert consumed == 1 + 6
+
+    def test_zero_length_prefix(self):
+        p = Prefix("::/0")
+        decoded, consumed = Prefix.from_wire(p.wire_bytes(), AFI_IPV6)
+        assert decoded == p
+        assert consumed == 1
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            Prefix.from_wire(b"\x30\x2a", AFI_IPV6)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Prefix.from_wire(b"", AFI_IPV6)
+
+    def test_overlong_length_raises(self):
+        with pytest.raises(ValueError):
+            Prefix.from_wire(bytes([129]) + b"\x00" * 17, AFI_IPV6)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=32))
+    def test_wire_roundtrip_v4_property(self, addr, plen):
+        network = ipaddress.ip_network((addr, plen), strict=False)
+        p = Prefix(network)
+        decoded, consumed = Prefix.from_wire(p.wire_bytes(), AFI_IPV4)
+        assert decoded == p
+        assert consumed == 1 + (plen + 7) // 8
+
+    @given(st.integers(min_value=0, max_value=2**128 - 1),
+           st.integers(min_value=0, max_value=128))
+    def test_wire_roundtrip_v6_property(self, addr, plen):
+        network = ipaddress.IPv6Network((addr, plen), strict=False)
+        p = Prefix(network)
+        decoded, _ = Prefix.from_wire(p.wire_bytes(), AFI_IPV6)
+        assert decoded == p

@@ -1,0 +1,248 @@
+"""Tests for streaming detection and alert sinks, including agreement
+between the streaming and offline detectors."""
+
+import io
+import json
+
+import pytest
+from helpers import ann, interval, sess_down, wd
+
+from repro.core import DetectorConfig, ZombieDetector
+from repro.realtime import (
+    AlertDispatcher,
+    CallbackSink,
+    CountingSink,
+    JsonLinesSink,
+    ResurrectionMonitor,
+    StreamingDetector,
+    ZombieAlert,
+)
+from repro.net import Prefix
+from repro.utils.timeutil import HOUR, MINUTE, ts
+
+P = "2a0d:3dc1:1145::/48"
+T0 = ts(2024, 6, 5)
+
+
+def feed(detector, records):
+    alerts = []
+    for record in sorted(records, key=lambda r: r.timestamp):
+        alerts.extend(detector.observe(record))
+    alerts.extend(detector.flush())
+    return alerts
+
+
+class TestStreamingDetector:
+    def test_zombie_alert_emitted(self):
+        detector = StreamingDetector(threshold=90 * MINUTE)
+        detector.add_interval(interval(P, T0, T0 + 900))
+        records = [
+            ann(T0 + 2, P, 25091, 210312, origin_time=T0),
+            # a later unrelated record advances the clock past eval time
+            ann(T0 + 3 * HOUR, "2a0d:3dc1:9999::/48", 25091, 210312),
+        ]
+        detector.add_interval(interval("2a0d:3dc1:9999::/48", T0 + 3 * HOUR))
+        alerts = feed(detector, records)
+        zombie = [a for a in alerts if str(a.prefix) == P]
+        assert len(zombie) == 1
+        assert zombie[0].detected_at == T0 + 900 + 90 * MINUTE
+        assert zombie[0].path.asns == (25091, 210312)
+
+    def test_clean_withdrawal_no_alert(self):
+        detector = StreamingDetector()
+        detector.add_interval(interval(P, T0, T0 + 900))
+        alerts = feed(detector, [
+            ann(T0 + 2, P, 25091, 210312, origin_time=T0),
+            wd(T0 + 905, P),
+        ])
+        assert alerts == []
+
+    def test_session_down_clears_state(self):
+        detector = StreamingDetector()
+        detector.add_interval(interval(P, T0, T0 + 900))
+        alerts = feed(detector, [
+            ann(T0 + 2, P, 25091, 210312, origin_time=T0),
+            sess_down(T0 + 1000),
+        ])
+        assert alerts == []
+
+    def test_dedup_filters_stale_announcements(self):
+        detector = StreamingDetector(dedup=True)
+        iv2 = interval(P, T0 + 4 * HOUR, T0 + 4 * HOUR + 900)
+        detector.add_intervals([interval(P, T0, T0 + 900), iv2])
+        records = [
+            ann(T0 + 2, P, 25091, 210312, origin_time=T0),
+            ann(T0 + 4 * HOUR + 2, P, 25091, 210312, origin_time=T0 + 4 * HOUR),
+            wd(T0 + 4 * HOUR + 903, P),
+            # path-hunting re-exposure of the old route:
+            ann(T0 + 4 * HOUR + 905, P, 25091, 4637, 210312, origin_time=T0),
+        ]
+        alerts = feed(detector, records)
+        assert len(alerts) == 1  # only the first interval's fresh zombie
+        assert alerts[0].interval.announce_time == T0
+
+    def test_excluded_peers_silent(self):
+        detector = StreamingDetector(
+            excluded_peers=frozenset({("rrc00", "2001:db8::2")}))
+        detector.add_interval(interval(P, T0, T0 + 900))
+        alerts = feed(detector, [ann(T0 + 2, P, 25091, 210312,
+                                     origin_time=T0)])
+        assert alerts == []
+
+    def test_discarded_interval_ignored(self):
+        detector = StreamingDetector()
+        detector.add_interval(interval(P, T0, T0 + 900, discarded=True))
+        assert detector.pending_evaluations == 0
+
+    def test_alert_counter(self):
+        detector = StreamingDetector()
+        detector.add_interval(interval(P, T0, T0 + 900))
+        feed(detector, [ann(T0 + 2, P, 25091, 210312, origin_time=T0)])
+        assert detector.alerts_emitted == 1
+
+    def test_untracked_prefix_ignored(self):
+        detector = StreamingDetector()
+        detector.add_interval(interval(P, T0, T0 + 900))
+        alerts = feed(detector, [
+            ann(T0 + 2, P, 25091, 210312, origin_time=T0),
+            ann(T0 + 3, "2001:db8::/32", 25091, 210312),
+        ])
+        assert all(str(a.prefix) == P for a in alerts)
+
+
+class TestStreamingAgreesWithOffline:
+    def _records_and_intervals(self):
+        intervals = [interval(P, T0, T0 + 900),
+                     interval(P, T0 + 4 * HOUR, T0 + 4 * HOUR + 900),
+                     interval("2a0d:3dc1:1200::/48", T0, T0 + 900)]
+        records = [
+            ann(T0 + 2, P, 25091, 210312, origin_time=T0),              # stuck
+            ann(T0 + 2, "2a0d:3dc1:1200::/48", 25091, 210312,
+                origin_time=T0),
+            wd(T0 + 905, "2a0d:3dc1:1200::/48"),                         # clean
+            ann(T0 + 4 * HOUR + 2, P, 25091, 210312,
+                origin_time=T0 + 4 * HOUR),
+            wd(T0 + 4 * HOUR + 903, P),                                  # clean
+        ]
+        return records, intervals
+
+    def test_same_zombies(self):
+        records, intervals = self._records_and_intervals()
+        offline = ZombieDetector(DetectorConfig()).detect(records, intervals)
+        streaming = StreamingDetector()
+        streaming.add_intervals(intervals)
+        alerts = feed(streaming, records)
+        offline_keys = {(str(o.prefix), o.interval.announce_time, r.peer)
+                        for o in offline.outbreaks for r in o.routes}
+        streaming_keys = {(str(a.prefix), a.interval.announce_time, a.peer)
+                          for a in alerts}
+        assert offline_keys == streaming_keys
+
+
+class TestResurrectionMonitor:
+    def test_alert_after_quiet_period(self):
+        monitor = ResurrectionMonitor([Prefix(P)], quiet=2 * HOUR)
+        assert monitor.observe(ann(T0, P, 25091, 210312)) is None
+        assert monitor.observe(wd(T0 + 1000, P)) is None
+        alert = monitor.observe(ann(T0 + 3 * HOUR, P, 25091, 4637, 210312))
+        assert alert is not None
+        assert alert.quiet_seconds == 3 * HOUR - 1000
+        assert alert.path.contains(4637)
+
+    def test_quick_reannounce_not_flagged(self):
+        monitor = ResurrectionMonitor([Prefix(P)], quiet=2 * HOUR)
+        monitor.observe(wd(T0, P))
+        assert monitor.observe(ann(T0 + 600, P, 25091, 210312)) is None
+
+    def test_untracked_ignored(self):
+        monitor = ResurrectionMonitor([])
+        assert monitor.observe(wd(T0, P)) is None
+        monitor.track(Prefix(P))
+        assert monitor.observe(wd(T0 + 1, P)) is None
+
+    def test_reannounce_resets_tracking(self):
+        monitor = ResurrectionMonitor([Prefix(P)], quiet=HOUR)
+        monitor.observe(wd(T0, P))
+        monitor.observe(ann(T0 + 2 * HOUR, P, 25091, 210312))  # alert 1
+        # A new withdrawal starts a fresh quiet period.
+        monitor.observe(wd(T0 + 3 * HOUR, P))
+        alert = monitor.observe(ann(T0 + 5 * HOUR, P, 25091, 210312))
+        assert alert is not None
+        assert alert.withdrawn_at == T0 + 3 * HOUR
+
+
+def make_alert():
+    iv = interval(P, T0, T0 + 900)
+    record = ann(T0 + 2, P, 25091, 210312, origin_time=T0)
+    return ZombieAlert(prefix=Prefix(P), peer=("rrc00", "2001:db8::2"),
+                       peer_asn=25091, interval=iv,
+                       detected_at=T0 + 900 + 90 * MINUTE,
+                       path=record.attributes.as_path, stale=False)
+
+
+class TestSinks:
+    def test_callback_sink(self):
+        seen = []
+        CallbackSink(seen.append).emit(make_alert())
+        assert len(seen) == 1
+
+    def test_counting_sink(self):
+        sink = CountingSink()
+        sink.emit(make_alert())
+        sink.emit(make_alert())
+        assert sink.total == 2
+        assert sink.by_kind == {"ZombieAlert": 2}
+        assert sink.by_prefix == {P: 2}
+
+    def test_jsonlines_sink(self):
+        buffer = io.StringIO()
+        sink = JsonLinesSink(buffer)
+        sink.emit(make_alert())
+        sink.close()
+        payload = json.loads(buffer.getvalue())
+        assert payload["kind"] == "ZombieAlert"
+        assert payload["prefix"] == P
+        assert payload["peer_asn"] == 25091
+        assert payload["path"] == "25091 210312"
+
+    def test_jsonlines_file(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        sink = JsonLinesSink(path)
+        sink.emit(make_alert())
+        sink.close()
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_dispatcher(self):
+        counting = CountingSink()
+        seen = []
+        dispatcher = AlertDispatcher([counting])
+        dispatcher.add(CallbackSink(seen.append))
+        dispatcher.emit(make_alert())
+        dispatcher.close()
+        assert counting.total == 1
+        assert len(seen) == 1
+
+
+class TestScheduleAwareMonitor:
+    def test_scheduled_reannouncement_suppressed(self):
+        from repro.realtime import ResurrectionMonitor
+
+        monitor = ResurrectionMonitor(
+            [Prefix(P)], quiet=HOUR,
+            scheduled_announcements=[(Prefix(P), T0 + 3 * HOUR)],
+            schedule_tolerance=5 * MINUTE)
+        monitor.observe(wd(T0, P))
+        # Re-announcement right at the scheduled slot: the beacon spoke.
+        assert monitor.observe(ann(T0 + 3 * HOUR + 60, P, 25091,
+                                   210312)) is None
+
+    def test_unscheduled_reannouncement_still_alerts(self):
+        from repro.realtime import ResurrectionMonitor
+
+        monitor = ResurrectionMonitor(
+            [Prefix(P)], quiet=HOUR,
+            scheduled_announcements=[(Prefix(P), T0 + 10 * HOUR)],
+            schedule_tolerance=5 * MINUTE)
+        monitor.observe(wd(T0, P))
+        alert = monitor.observe(ann(T0 + 3 * HOUR, P, 25091, 210312))
+        assert alert is not None

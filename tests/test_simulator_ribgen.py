@@ -1,0 +1,97 @@
+"""Tests for RIB-dump generation from update streams."""
+
+from repro.bgp import (
+    Announcement,
+    ASPath,
+    PathAttributes,
+    PeerState,
+    StateRecord,
+    UpdateRecord,
+    Withdrawal,
+)
+from repro.net import Prefix
+from repro.simulator import dump_times, generate_rib_dumps
+from repro.utils.timeutil import HOUR, ts
+
+PREFIX = Prefix("2a0d:3dc1:163::/48")
+T0 = ts(2024, 6, 18)
+
+
+def attrs(*asns):
+    return PathAttributes(as_path=ASPath.of(*asns), next_hop="2001:db8::1")
+
+
+def ann(time, peer_asn=9304, addr="2001:db8:9::1", collector="rrc25"):
+    return UpdateRecord(time, collector, addr, peer_asn,
+                        Announcement(PREFIX, attrs(peer_asn, 6939, 210312)))
+
+
+def wd(time, peer_asn=9304, addr="2001:db8:9::1", collector="rrc25"):
+    return UpdateRecord(time, collector, addr, peer_asn, Withdrawal(PREFIX))
+
+
+class TestDumpTimes:
+    def test_aligned_8h(self):
+        times = dump_times(T0 + 1, T0 + 24 * HOUR)
+        assert times == [T0 + 8 * HOUR, T0 + 16 * HOUR]
+
+    def test_includes_aligned_start(self):
+        times = dump_times(T0, T0 + 9 * HOUR)
+        assert times == [T0, T0 + 8 * HOUR]
+
+
+class TestGenerate:
+    def test_route_visible_until_withdrawn(self):
+        records = [ann(T0 + 10), wd(T0 + 20 * HOUR)]
+        dumps = list(generate_rib_dumps(records, T0, T0 + 30 * HOUR))
+        held = [bool(d.peers_holding(PREFIX)) for d in dumps]
+        # Dumps at +8h and +16h show the route; +24h does not.
+        assert held == [True, True, False]
+
+    def test_stuck_route_visible_forever(self):
+        """A never-withdrawn route persists in every later dump — the
+        substrate of the Fig. 3 lifespan analysis."""
+        records = [ann(T0 + 10)]
+        dumps = list(generate_rib_dumps(records, T0, T0 + 80 * 86400,
+                                        period=10 * 86400))
+        assert all(d.peers_holding(PREFIX) for d in dumps)
+
+    def test_session_down_clears_peer_table(self):
+        records = [
+            ann(T0 + 10),
+            StateRecord(T0 + 9 * HOUR, "rrc25", "2001:db8:9::1", 9304,
+                        PeerState.ESTABLISHED, PeerState.IDLE),
+        ]
+        dumps = list(generate_rib_dumps(records, T0, T0 + 24 * HOUR))
+        held = [bool(d.peers_holding(PREFIX)) for d in dumps]
+        # No dump at T0 (peer not yet seen); +8h holds the route; +16h is
+        # after the session drop, so the table is empty.
+        assert held == [True, False]
+
+    def test_peers_registered_even_when_empty(self):
+        records = [ann(T0 + 10), wd(T0 + 20)]
+        dumps = list(generate_rib_dumps(records, T0 + 8 * HOUR, T0 + 9 * HOUR))
+        (dump,) = dumps
+        assert dump.entries == {}
+        assert dump.peers  # the peer is still in the index table
+
+    def test_multiple_collectors_split(self):
+        records = [ann(T0 + 10), ann(T0 + 11, collector="rrc00",
+                                     addr="2001:db8:b::1", peer_asn=17639)]
+        dumps = list(generate_rib_dumps(records, T0 + 8 * HOUR, T0 + 9 * HOUR))
+        assert sorted(d.collector for d in dumps) == ["rrc00", "rrc25"]
+
+    def test_collector_filter(self):
+        records = [ann(T0 + 10), ann(T0 + 11, collector="rrc00",
+                                     addr="2001:db8:b::1", peer_asn=17639)]
+        dumps = list(generate_rib_dumps(records, T0 + 8 * HOUR, T0 + 9 * HOUR,
+                                        collectors=["rrc25"]))
+        assert [d.collector for d in dumps] == ["rrc25"]
+
+    def test_implicit_replacement(self):
+        better = UpdateRecord(T0 + 100, "rrc25", "2001:db8:9::1", 9304,
+                              Announcement(PREFIX, attrs(9304, 210312)))
+        records = [ann(T0 + 10), better]
+        (dump,) = generate_rib_dumps(records, T0 + 8 * HOUR, T0 + 9 * HOUR)
+        ((peer, entry),) = dump.routes_for(PREFIX)
+        assert entry.attributes.as_path.asns == (9304, 210312)

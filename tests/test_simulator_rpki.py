@@ -1,0 +1,91 @@
+"""Tests for the RPKI substrate."""
+
+import pytest
+
+from repro.net import Prefix
+from repro.simulator import ROA, ROARegistry, ValidationState
+
+
+def beacon_roa(until=None):
+    return ROA(Prefix("2a0d:3dc1::/32"), 210312, max_length=48,
+               valid_from=0, valid_until=until)
+
+
+class TestROA:
+    def test_maxlength_shorter_than_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            ROA(Prefix("2a0d:3dc1::/32"), 210312, max_length=24)
+
+    def test_maxlength_over_family_limit_rejected(self):
+        with pytest.raises(ValueError):
+            ROA(Prefix("10.0.0.0/8"), 1, max_length=33)
+
+    def test_active_window(self):
+        roa = ROA(Prefix("2a0d:3dc1::/32"), 210312, 48,
+                  valid_from=100, valid_until=200)
+        assert not roa.active_at(99)
+        assert roa.active_at(100)
+        assert roa.active_at(199)
+        assert not roa.active_at(200)
+
+    def test_never_revoked(self):
+        assert beacon_roa().active_at(10**10)
+
+    def test_authorizes(self):
+        roa = beacon_roa()
+        assert roa.authorizes(Prefix("2a0d:3dc1:1145::/48"), 210312)
+        assert not roa.authorizes(Prefix("2a0d:3dc1:1145::/48"), 666)
+        assert not roa.authorizes(Prefix("2a0d:3dc1::/56"), 210312)  # too long
+        assert not roa.authorizes(Prefix("2001:db8::/48"), 210312)  # not covered
+
+
+class TestRegistry:
+    def test_valid(self):
+        registry = ROARegistry([beacon_roa()])
+        assert registry.validate(Prefix("2a0d:3dc1:1145::/48"), 210312, 50) \
+            is ValidationState.VALID
+
+    def test_not_found(self):
+        registry = ROARegistry([beacon_roa()])
+        assert registry.validate(Prefix("2001:db8::/48"), 210312, 50) \
+            is ValidationState.NOT_FOUND
+
+    def test_invalid_wrong_origin(self):
+        registry = ROARegistry([beacon_roa()])
+        assert registry.validate(Prefix("2a0d:3dc1:1145::/48"), 666, 50) \
+            is ValidationState.INVALID
+
+    def test_paper_roa_revocation_scenario(self):
+        """Parent /32 ROA stays; the maxLength-48 beacon ROA is revoked at
+        T — /48 beacon routes flip VALID → INVALID (paper §5)."""
+        parent = ROA(Prefix("2a0d:3dc1::/32"), 210312, max_length=32)
+        beacon = beacon_roa()
+        registry = ROARegistry([parent, beacon])
+        prefix = Prefix("2a0d:3dc1:1851::/48")
+        assert registry.validate(prefix, 210312, 100) is ValidationState.VALID
+        registry.revoke(beacon, at_time=1000)
+        assert registry.validate(prefix, 210312, 100) is ValidationState.VALID
+        assert registry.validate(prefix, 210312, 1000) is ValidationState.INVALID
+        # The /32 itself stays valid throughout.
+        assert registry.validate(Prefix("2a0d:3dc1::/32"), 210312, 2000) \
+            is ValidationState.VALID
+
+    def test_revoke_unknown_raises(self):
+        registry = ROARegistry()
+        with pytest.raises(KeyError):
+            registry.revoke(beacon_roa(), 10)
+
+    def test_change_times(self):
+        roa_a = ROA(Prefix("2a0d:3dc1::/32"), 210312, 48, valid_from=5,
+                    valid_until=20)
+        roa_b = ROA(Prefix("2001:db8::/32"), 1, 48, valid_from=7)
+        registry = ROARegistry([roa_a, roa_b])
+        assert registry.change_times() == [5, 7, 20]
+
+    def test_overlapping_roas_any_match_wins(self):
+        registry = ROARegistry([
+            ROA(Prefix("2a0d:3dc1::/32"), 210312, 32),   # would make /48 invalid
+            beacon_roa(),                                 # authorizes /48
+        ])
+        assert registry.validate(Prefix("2a0d:3dc1:1::/48"), 210312, 0) \
+            is ValidationState.VALID
