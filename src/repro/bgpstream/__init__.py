@@ -1,5 +1,5 @@
 """pybgpstream-compatible stream facade over the RIS archive."""
 
-from repro.bgpstream.stream import BGPElem, BGPStream, FilterError
+from repro.bgpstream.stream import BGPElem, BGPStream, FilterError, compile_filter
 
-__all__ = ["BGPStream", "BGPElem", "FilterError"]
+__all__ = ["BGPStream", "BGPElem", "FilterError", "compile_filter"]

@@ -19,18 +19,27 @@ language): ``prefix exact P``, ``prefix more P`` (P and more specifics),
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterator, Optional, Sequence, Union
 
 from repro.bgp.messages import StateRecord, UpdateRecord
 from repro.net.prefix import Prefix
 from repro.ris.archive import Archive
+from repro.ris.pushdown import RecordFilter
 from repro.utils.timeutil import from_iso
 
-__all__ = ["BGPStream", "BGPElem", "FilterError"]
+__all__ = ["BGPStream", "BGPElem", "FilterError", "compile_filter"]
 
 
 class FilterError(ValueError):
     """The filter string could not be parsed."""
+
+
+@lru_cache(maxsize=8192)
+def _parse_prefix(text: str) -> Prefix:
+    """Parse-once prefix cache: element streams repeat the same prefix
+    strings thousands of times, and :class:`Prefix` is immutable."""
+    return Prefix(text)
 
 
 @dataclass(frozen=True)
@@ -53,7 +62,7 @@ class BGPElem:
     @property
     def prefix(self) -> Optional[Prefix]:
         raw = self.fields.get("prefix")
-        return Prefix(raw) if raw is not None else None
+        return _parse_prefix(raw) if raw is not None else None
 
     @property
     def as_path(self) -> Optional[str]:
@@ -89,8 +98,12 @@ class _Filter:
                     else:
                         raise FilterError(f"unknown prefix mode {mode!r}")
                 elif keyword == "peer":
+                    if len(tokens) < 2:
+                        raise FilterError(f"clause {clause!r} needs a value")
                     self.peers.update(int(t) for t in tokens[1:])
                 elif keyword == "collector":
+                    if len(tokens) < 2:
+                        raise FilterError(f"clause {clause!r} needs a value")
                     self.collectors.update(tokens[1:])
                 elif keyword == "ipversion":
                     self.ipversion = int(tokens[1])
@@ -124,12 +137,30 @@ class _Filter:
         if self.collectors and elem.collector not in self.collectors:
             return False
         if elem.type in ("A", "W", "R"):
-            return self.match_prefix(Prefix(elem.fields["prefix"]))
+            return self.match_prefix(_parse_prefix(elem.fields["prefix"]))
         # State elems carry no prefix: they cannot match a prefix clause.
         has_prefix_clause = (self.prefix_exact is not None
                              or self.prefix_more is not None
                              or self.ipversion is not None)
         return not has_prefix_clause
+
+    def to_record_filter(self) -> RecordFilter:
+        """The archive-side push-down equivalent of this filter."""
+        return RecordFilter(
+            peers=frozenset(self.peers),
+            collectors=frozenset(self.collectors),
+            ipversion=self.ipversion,
+            elem_types=frozenset(self.elem_types),
+            prefix_exact=self.prefix_exact,
+            prefix_more=self.prefix_more,
+        )
+
+
+def compile_filter(text: Optional[str]) -> RecordFilter:
+    """Compile a BGPStream filter string into a pushed-down
+    :class:`~repro.ris.pushdown.RecordFilter` usable directly with
+    :meth:`repro.ris.Archive.iter_updates`."""
+    return _Filter(text).to_record_filter()
 
 
 class BGPStream:
@@ -140,8 +171,10 @@ class BGPStream:
                  until_time: Union[int, str],
                  collectors: Optional[Sequence[str]] = None,
                  record_type: str = "updates",
-                 filter: Optional[str] = None):
-        self.archive = archive if isinstance(archive, Archive) else Archive(archive)
+                 filter: Optional[str] = None,
+                 workers: int = 1):
+        self.archive = (archive if isinstance(archive, Archive)
+                        else Archive(archive, workers=workers))
         self.from_time = from_time if isinstance(from_time, int) else from_iso(from_time)
         self.until_time = until_time if isinstance(until_time, int) else from_iso(until_time)
         if record_type not in ("updates", "ribs"):
@@ -159,11 +192,25 @@ class BGPStream:
             yield from self._iter_ribs()
 
     def _iter_updates(self) -> Iterator[BGPElem]:
-        for record in self.archive.iter_updates(self.from_time, self.until_time,
-                                                self.collectors):
-            elem = _record_to_elem(record)
-            if self._filter.match_elem(elem):
-                yield elem
+        # Filter clauses are pushed down into the archive read path
+        # (file-index skipping, NLRI prematch, record-level match), so
+        # every record that comes back is already a match.
+        record_filter = self._filter.to_record_filter()
+        try:
+            records = self.archive.iter_updates(
+                self.from_time, self.until_time, self.collectors,
+                record_filter=record_filter)
+        except TypeError:
+            # Substrate without push-down support (duck-typed archive):
+            # fall back to element-level filtering.
+            for record in self.archive.iter_updates(
+                    self.from_time, self.until_time, self.collectors):
+                elem = _record_to_elem(record)
+                if self._filter.match_elem(elem):
+                    yield elem
+            return
+        for record in records:
+            yield _record_to_elem(record)
 
     def _iter_ribs(self) -> Iterator[BGPElem]:
         for dump in self.archive.iter_ribs(self.from_time, self.until_time,

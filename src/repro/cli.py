@@ -7,6 +7,7 @@ Commands
 ``campaign``     run the 2024 beacon campaign and print §5 results
 ``replication``  run the §3 replication periods and print Tables 1-4
 ``detect``       run the revised detector over an on-disk RIS archive
+``index``        write sidecar file indexes for an existing archive
 """
 
 from __future__ import annotations
@@ -55,6 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--threshold-minutes", type=int, default=90)
     detect.add_argument("--no-dedup", action="store_true",
                         help="disable Aggregator double-count elimination")
+    detect.add_argument("--workers", type=int, default=1,
+                        help="decode archive files on N worker processes")
+    detect.add_argument("--filter", default=None,
+                        help="BGPStream filter pushed down into the read "
+                             "path, e.g. 'peer 25091 and ipversion 6'")
+
+    index = sub.add_parser(
+        "index", help="write sidecar file indexes for an existing archive")
+    index.add_argument("archive", help="archive root directory")
+    index.add_argument("--rebuild", action="store_true",
+                       help="rewrite sidecars even when fresh ones exist")
     return parser
 
 
@@ -134,8 +146,19 @@ def _cmd_detect(args) -> int:
     if not intervals:
         print("no beacon intervals in the window", file=sys.stderr)
         return 1
-    records = list(Archive(args.archive).iter_updates(
-        start, end + args.threshold_minutes * MINUTE + 3600))
+    record_filter = None
+    if args.filter:
+        from repro.bgpstream import FilterError, compile_filter
+
+        try:
+            record_filter = compile_filter(args.filter)
+        except FilterError as exc:
+            print(f"bad --filter: {exc}", file=sys.stderr)
+            return 2
+    archive = Archive(args.archive, workers=args.workers)
+    records = list(archive.iter_updates(
+        start, end + args.threshold_minutes * MINUTE + 3600,
+        record_filter=record_filter))
     config = DetectorConfig(threshold=args.threshold_minutes * MINUTE,
                             dedup=not args.no_dedup)
     result = ZombieDetector(config).detect(records, intervals)
@@ -148,6 +171,18 @@ def _cmd_detect(args) -> int:
     return 0
 
 
+def _cmd_index(args) -> int:
+    from repro.ris import reindex_archive
+
+    try:
+        written = reindex_archive(args.archive, rebuild=args.rebuild)
+    except FileNotFoundError:
+        print(f"archive root does not exist: {args.archive}", file=sys.stderr)
+        return 2
+    print(f"indexed {written} update file(s)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -155,6 +190,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "replication": _cmd_replication,
         "detect": _cmd_detect,
+        "index": _cmd_index,
     }
     return handlers[args.command](args)
 

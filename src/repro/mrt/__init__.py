@@ -6,6 +6,8 @@ from repro.mrt.bgp4mp import (
     encode_mrt_record,
     encode_state_record,
     encode_update_record,
+    iter_update_prefixes,
+    prematch_bgp4mp,
 )
 from repro.mrt.files import (
     MRTDecodeError,
@@ -27,6 +29,8 @@ __all__ = [
     "encode_mrt_record",
     "encode_state_record",
     "encode_update_record",
+    "iter_update_prefixes",
+    "prematch_bgp4mp",
     "MRTDecodeError",
     "iter_raw_records",
     "read_updates_file",

@@ -11,7 +11,11 @@ import ipaddress
 import struct
 from typing import Iterable, Optional
 
-from repro.bgp.attributes import PathAttributes
+from repro.bgp.attributes import (
+    ATTR_MP_REACH_NLRI,
+    ATTR_MP_UNREACH_NLRI,
+    PathAttributes,
+)
 from repro.bgp.messages import (
     Announcement,
     PeerState,
@@ -35,6 +39,8 @@ __all__ = [
     "encode_update_record",
     "encode_state_record",
     "decode_bgp4mp",
+    "iter_update_prefixes",
+    "prematch_bgp4mp",
     "MRTRecordHeader",
     "encode_mrt_record",
     "decode_mrt_header",
@@ -43,6 +49,17 @@ __all__ = [
 #: A collector-side placeholder address/ASN for the "local" side of the
 #: BGP4MP header (the collector itself).
 COLLECTOR_ASN = 12654  # RIPE NCC RIS AS
+
+# Precompiled wire codecs — the decode path runs once per record of
+# every archive file, so repeated format-string parsing is measurable.
+_MRT_HDR = struct.Struct("!IHHI")
+_ASN_PAIR_AS4 = struct.Struct("!II")
+_ASN_PAIR_AS2 = struct.Struct("!HH")
+_U16_PAIR = struct.Struct("!HH")
+_U16 = struct.Struct("!H")
+_U16_U8 = struct.Struct("!HB")
+_LEN_TYPE = struct.Struct("!HB")
+_FLAG_EXTENDED_LENGTH = 0x10
 
 
 class MRTRecordHeader:
@@ -60,11 +77,11 @@ class MRTRecordHeader:
 def encode_mrt_record(timestamp: int, mrt_type: int, subtype: int,
                       body: bytes) -> bytes:
     """Wrap a record body in the MRT common header."""
-    return struct.pack("!IHHI", timestamp, mrt_type, subtype, len(body)) + body
+    return _MRT_HDR.pack(timestamp, mrt_type, subtype, len(body)) + body
 
 
 def decode_mrt_header(data: bytes, offset: int = 0) -> MRTRecordHeader:
-    timestamp, mrt_type, subtype, length = struct.unpack_from("!IHHI", data, offset)
+    timestamp, mrt_type, subtype, length = _MRT_HDR.unpack_from(data, offset)
     return MRTRecordHeader(timestamp, mrt_type, subtype, length)
 
 
@@ -161,17 +178,17 @@ def decode_bgp4mp(header: MRTRecordHeader, body: bytes,
     explodes updates into elems).
     """
     as4 = header.subtype in (BGP4MP_MESSAGE_AS4, BGP4MP_STATE_CHANGE_AS4)
-    asn_fmt = "!II" if as4 else "!HH"
+    asn_codec = _ASN_PAIR_AS4 if as4 else _ASN_PAIR_AS2
     asn_size = 8 if as4 else 4
-    peer_asn, _local_asn = struct.unpack_from(asn_fmt, body, 0)
-    _ifindex, afi = struct.unpack_from("!HH", body, asn_size)
+    peer_asn, _local_asn = asn_codec.unpack_from(body, 0)
+    _ifindex, afi = _U16_PAIR.unpack_from(body, asn_size)
     offset = asn_size + 4
     addr_len = 4 if afi == AFI_IPV4 else 16
     peer_address = str(ipaddress.ip_address(body[offset:offset + addr_len]))
     offset += 2 * addr_len  # skip local address too
 
     if header.subtype in (BGP4MP_STATE_CHANGE, BGP4MP_STATE_CHANGE_AS4):
-        old_state, new_state = struct.unpack_from("!HH", body, offset)
+        old_state, new_state = _U16_PAIR.unpack_from(body, offset)
         return [StateRecord(header.timestamp, collector, peer_address, peer_asn,
                             PeerState(old_state), PeerState(new_state))]
 
@@ -182,12 +199,12 @@ def decode_bgp4mp(header: MRTRecordHeader, body: bytes,
     if marker != BGP_MARKER:
         raise ValueError("bad BGP marker")
     offset += 16
-    _msg_len, msg_type = struct.unpack_from("!HB", body, offset)
+    _msg_len, msg_type = _LEN_TYPE.unpack_from(body, offset)
     offset += 3
     if msg_type != BGP_MSG_UPDATE:
         return []
 
-    (withdrawn_len,) = struct.unpack_from("!H", body, offset)
+    (withdrawn_len,) = _U16.unpack_from(body, offset)
     offset += 2
     records: list = []
     end = offset + withdrawn_len
@@ -197,7 +214,7 @@ def decode_bgp4mp(header: MRTRecordHeader, body: bytes,
         records.append(UpdateRecord(header.timestamp, collector, peer_address,
                                     peer_asn, Withdrawal(prefix)))
 
-    (attr_len,) = struct.unpack_from("!H", body, offset)
+    (attr_len,) = _U16.unpack_from(body, offset)
     offset += 2
     attr_block = body[offset:offset + attr_len]
     offset += attr_len
@@ -221,3 +238,102 @@ def decode_bgp4mp(header: MRTRecordHeader, body: bytes,
                                             peer_address, peer_asn,
                                             Announcement(prefix, attrs)))
     return records
+
+
+def iter_update_prefixes(header: MRTRecordHeader, body: bytes) -> Iterable[Prefix]:
+    """Cheaply yield every NLRI prefix in a BGP4MP UPDATE record.
+
+    This walks only the NLRI fields (withdrawn routes, MP_REACH /
+    MP_UNREACH payloads and the trailing IPv4 NLRI) without decoding
+    path-attribute *values* — no AS path, community or aggregator
+    objects are built.  It is the prefix prematch used by filter
+    push-down: a superset of the prefixes :func:`decode_bgp4mp` would
+    attach to records.  State-change and non-UPDATE records yield
+    nothing.
+    """
+    as4 = header.subtype in (BGP4MP_MESSAGE_AS4, BGP4MP_STATE_CHANGE_AS4)
+    asn_size = 8 if as4 else 4
+    _ifindex, afi = _U16_PAIR.unpack_from(body, asn_size)
+    offset = asn_size + 4 + 2 * (4 if afi == AFI_IPV4 else 16)
+
+    if header.subtype in (BGP4MP_STATE_CHANGE, BGP4MP_STATE_CHANGE_AS4):
+        return
+    if header.subtype not in (BGP4MP_MESSAGE, BGP4MP_MESSAGE_AS4):
+        raise ValueError(f"unsupported BGP4MP subtype {header.subtype}")
+    if body[offset:offset + 16] != BGP_MARKER:
+        raise ValueError("bad BGP marker")
+    offset += 16
+    _msg_len, msg_type = _LEN_TYPE.unpack_from(body, offset)
+    offset += 3
+    if msg_type != BGP_MSG_UPDATE:
+        return
+
+    (withdrawn_len,) = _U16.unpack_from(body, offset)
+    offset += 2
+    end = offset + withdrawn_len
+    while offset < end:
+        prefix, consumed = Prefix.from_wire(body[offset:end], AFI_IPV4)
+        offset += consumed
+        yield prefix
+
+    (attr_len,) = _U16.unpack_from(body, offset)
+    offset += 2
+    attrs_end = offset + attr_len
+    while offset < attrs_end:
+        flags = body[offset]
+        type_code = body[offset + 1]
+        if flags & _FLAG_EXTENDED_LENGTH:
+            (length,) = _U16.unpack_from(body, offset + 2)
+            payload_start = offset + 4
+        else:
+            length = body[offset + 2]
+            payload_start = offset + 3
+        offset = payload_start + length
+        if type_code == ATTR_MP_REACH_NLRI:
+            mp_afi, _safi = _U16_U8.unpack_from(body, payload_start)
+            nh_len = body[payload_start + 3]
+            pos = payload_start + 4 + nh_len + 1  # next hop + reserved byte
+            while pos < payload_start + length:
+                prefix, consumed = Prefix.from_wire(
+                    body[pos:payload_start + length], mp_afi)
+                pos += consumed
+                yield prefix
+        elif type_code == ATTR_MP_UNREACH_NLRI:
+            mp_afi, _safi = _U16_U8.unpack_from(body, payload_start)
+            pos = payload_start + 3
+            while pos < payload_start + length:
+                prefix, consumed = Prefix.from_wire(
+                    body[pos:payload_start + length], mp_afi)
+                pos += consumed
+                yield prefix
+        # Other attribute types are skipped without decoding.
+
+    while offset < len(body):
+        prefix, consumed = Prefix.from_wire(body[offset:], AFI_IPV4)
+        offset += consumed
+        yield prefix
+
+
+def prematch_bgp4mp(header: MRTRecordHeader, body: bytes,
+                    record_filter) -> bool:
+    """Pre-decode test: can this record produce a match for
+    ``record_filter`` (a :class:`repro.ris.pushdown.RecordFilter`)?
+
+    False only when no decoded record could match; True is conservative
+    (the record-level filter still runs after the full decode).  Peer
+    clauses are checked from the BGP4MP per-record header alone; prefix
+    clauses via :func:`iter_update_prefixes`, skipping the expensive
+    path-attribute decode for records carrying no matching NLRI.
+    """
+    if record_filter.peers:
+        as4 = header.subtype in (BGP4MP_MESSAGE_AS4, BGP4MP_STATE_CHANGE_AS4)
+        asn_codec = _ASN_PAIR_AS4 if as4 else _ASN_PAIR_AS2
+        peer_asn, _local = asn_codec.unpack_from(body, 0)
+        if peer_asn not in record_filter.peers:
+            return False
+    if not record_filter.has_prefix_clause:
+        return True
+    if header.subtype in (BGP4MP_STATE_CHANGE, BGP4MP_STATE_CHANGE_AS4):
+        return True  # state decode is cheap; matches_record decides
+    return any(record_filter.match_prefix(prefix)
+               for prefix in iter_update_prefixes(header, body))

@@ -19,6 +19,7 @@ from repro.mrt.bgp4mp import (
     decode_mrt_header,
     encode_state_record,
     encode_update_record,
+    prematch_bgp4mp,
 )
 from repro.mrt.constants import MRT_BGP4MP, MRT_TABLE_DUMP_V2
 from repro.bgp.messages import StateRecord, UpdateRecord
@@ -55,29 +56,40 @@ def write_updates_file(path: Union[str, Path], records: Iterable[Record],
 
 
 def iter_raw_records(path: Union[str, Path]) -> Iterator[tuple]:
-    """Yield ``(header, body)`` pairs from a gzip MRT file."""
+    """Yield ``(header, body)`` pairs from a gzip MRT file.
+
+    Records are read *streaming* from the decompressor — header, then
+    body — so a multi-megabyte archive file never has to be held in
+    memory as one contiguous buffer.
+    """
     with gzip.open(path, "rb") as handle:
-        data = handle.read()
-    offset = 0
-    total = len(data)
-    while offset < total:
-        if total - offset < 12:
-            raise MRTDecodeError(f"{path}: trailing garbage ({total - offset} bytes)")
-        header = decode_mrt_header(data, offset)
-        body = data[offset + 12:offset + 12 + header.length]
-        if len(body) != header.length:
-            raise MRTDecodeError(f"{path}: truncated record at offset {offset}")
-        offset += 12 + header.length
-        yield header, body
+        while True:
+            head = handle.read(12)
+            if not head:
+                return
+            if len(head) < 12:
+                raise MRTDecodeError(f"{path}: trailing garbage ({len(head)} bytes)")
+            header = decode_mrt_header(head)
+            body = handle.read(header.length)
+            if len(body) != header.length:
+                raise MRTDecodeError(f"{path}: truncated record")
+            yield header, body
 
 
 def read_updates_file(path: Union[str, Path], collector: str,
-                      strict: bool = False) -> Iterator[Record]:
+                      strict: bool = False,
+                      record_filter=None) -> Iterator[Record]:
     """Decode a gzip MRT updates file into Update/State records.
 
     With ``strict=False`` (default), records that fail to decode are
     skipped — the behaviour a production pipeline needs against corrupted
     archive files.  With ``strict=True`` the error propagates.
+
+    ``record_filter`` (a :class:`repro.ris.pushdown.RecordFilter`) pushes
+    stream-level filtering down to decode time: peer clauses are tested
+    against the raw BGP4MP header and prefix clauses against the NLRI
+    fields *before* path attributes are decoded, and only records for
+    which ``record_filter.matches_record`` holds are yielded.
     """
     for header, body in iter_raw_records(path):
         if header.mrt_type != MRT_BGP4MP:
@@ -86,8 +98,17 @@ def read_updates_file(path: Union[str, Path], collector: str,
                     f"{path}: unexpected MRT type {header.mrt_type} in updates file")
             continue
         try:
-            yield from decode_bgp4mp(header, body, collector)
+            if record_filter is not None and not prematch_bgp4mp(
+                    header, body, record_filter):
+                continue
+            records = decode_bgp4mp(header, body, collector)
         except (ValueError, struct.error) as exc:
             if strict:
                 raise MRTDecodeError(f"{path}: {exc}") from exc
             continue
+        if record_filter is None:
+            yield from records
+        else:
+            for record in records:
+                if record_filter.matches_record(record):
+                    yield record

@@ -1,18 +1,42 @@
 """RIPE RIS substrate: collectors, peers and the raw-data archive."""
 
 from repro.ris.archive import (
+    DEFAULT_CACHE_FILES,
     RIB_DUMP_SECONDS,
     UPDATE_BIN_SECONDS,
     Archive,
     ArchiveWriter,
 )
+from repro.ris.cache import DecodedFileCache
 from repro.ris.collectors import DEFAULT_COLLECTORS, Collector, PeerRegistry, RISPeer
+from repro.ris.index import (
+    INDEX_SUFFIX,
+    FileIndex,
+    build_index,
+    build_rib_index,
+    index_path,
+    load_index,
+    reindex_archive,
+    write_index,
+)
+from repro.ris.pushdown import RecordFilter
 
 __all__ = [
     "Archive",
     "ArchiveWriter",
     "UPDATE_BIN_SECONDS",
     "RIB_DUMP_SECONDS",
+    "DEFAULT_CACHE_FILES",
+    "DecodedFileCache",
+    "RecordFilter",
+    "FileIndex",
+    "INDEX_SUFFIX",
+    "index_path",
+    "build_index",
+    "build_rib_index",
+    "write_index",
+    "load_index",
+    "reindex_archive",
     "Collector",
     "PeerRegistry",
     "RISPeer",

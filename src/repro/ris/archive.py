@@ -10,24 +10,50 @@ RIB snapshots; :class:`Archive` resolves time windows back to files and
 iterates decoded records, merging collectors in time order — exactly the
 access pattern the zombie pipeline (and pybgpstream) uses against the
 real archive.
+
+The read path is built for throughput:
+
+* every update file carries a JSON sidecar index (``.idx``, see
+  :mod:`repro.ris.index`) so window resolution and pushed-down
+  peer/ipversion/prefix-family clauses can skip whole files without
+  decompressing them;
+* ``Archive(root, workers=N)`` decodes multi-file windows on a process
+  pool (:mod:`repro.ris.parallel`) with an ordered heap-merge identical
+  to the sequential path;
+* a decoded-file LRU cache (:mod:`repro.ris.cache`), keyed by
+  ``(path, size, mtime)``, makes re-scanning the same window with a
+  different detector or filter nearly free;
+* :meth:`Archive.iter_updates` accepts a
+  :class:`~repro.ris.pushdown.RecordFilter` so stream-level clauses are
+  applied at (or before) decode time.
 """
 
 from __future__ import annotations
 
+import gzip
 import heapq
+import warnings
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Iterable, Iterator, Optional, Sequence, Union
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 
 from repro.bgp.messages import Record, record_sort_key
 from repro.mrt.files import read_updates_file, write_updates_file
 from repro.mrt.tabledump import RibDump, decode_rib_dump, encode_rib_dump
+from repro.ris.cache import DecodedFileCache
+from repro.ris.index import build_rib_index, load_index, write_index
+from repro.ris.parallel import iter_plan_parallel, worker_pool
+from repro.ris.pushdown import RecordFilter
 from repro.utils.timeutil import align_down, to_datetime
 
-__all__ = ["Archive", "ArchiveWriter", "UPDATE_BIN_SECONDS", "RIB_DUMP_SECONDS"]
+__all__ = ["Archive", "ArchiveWriter", "UPDATE_BIN_SECONDS",
+           "RIB_DUMP_SECONDS", "DEFAULT_CACHE_FILES"]
 
 UPDATE_BIN_SECONDS = 5 * 60
 RIB_DUMP_SECONDS = 8 * 3600
+
+#: Default size (in files) of the per-archive decoded-file LRU cache.
+DEFAULT_CACHE_FILES = 32
 
 
 def _month_dir(timestamp: int) -> str:
@@ -41,11 +67,23 @@ def _file_stamp(timestamp: int) -> str:
 
 
 def _parse_file_stamp(name: str) -> int:
-    """Timestamp from ``updates.YYYYMMDD.HHMM.gz`` / ``bview....`` names."""
+    """Timestamp from ``updates.YYYYMMDD.HHMM.gz`` / ``bview....`` names.
+
+    Raises :class:`ValueError` for names that do not follow the archive
+    convention (temp files, index sidecars, foreign drops).
+    """
     parts = name.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an archive file name: {name!r}")
     date_part, time_part = parts[1], parts[2]
     dt = datetime.strptime(date_part + time_part, "%Y%m%d%H%M")
     return int(dt.replace(tzinfo=timezone.utc).timestamp())
+
+
+def _warn_foreign_file(path: Path) -> None:
+    """Default hook for non-conforming files found in month directories."""
+    warnings.warn(f"skipping non-archive file in month directory: {path}",
+                  RuntimeWarning, stacklevel=3)
 
 
 class ArchiveWriter:
@@ -59,6 +97,7 @@ class ArchiveWriter:
 
         Records for bins that already exist on disk are merged with the
         existing content (needed when a simulation writes incrementally).
+        Each file gets a fresh sidecar index (:mod:`repro.ris.index`).
         """
         bins: dict[int, list[Record]] = {}
         for record in records:
@@ -76,6 +115,7 @@ class ArchiveWriter:
                 items = existing + items
             items.sort(key=record_sort_key)
             write_updates_file(path, items, sort=False)
+            write_index(path, items)
             written.append(path)
         return written
 
@@ -83,11 +123,9 @@ class ArchiveWriter:
         """Write one bview snapshot."""
         path = self.rib_path(dump.collector, dump.timestamp)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_bytes(b"")  # ensure truncation on rewrite
-        import gzip
-
         with gzip.open(path, "wb") as handle:
             handle.write(encode_rib_dump(dump))
+        write_index(path, (), index=build_rib_index(dump))
         return path
 
     def update_path(self, collector: str, bin_start: int) -> Path:
@@ -100,12 +138,23 @@ class ArchiveWriter:
 
 
 class Archive:
-    """Read-side of the archive."""
+    """Read-side of the archive.
 
-    def __init__(self, root: Union[str, Path]):
+    ``workers`` > 1 decodes multi-file windows on a process pool;
+    ``cache_size`` bounds the decoded-file LRU cache (0 disables it);
+    ``on_foreign_file`` is called with each non-conforming path found in
+    a month directory (default: a :class:`RuntimeWarning`).
+    """
+
+    def __init__(self, root: Union[str, Path], workers: int = 1,
+                 cache_size: int = DEFAULT_CACHE_FILES,
+                 on_foreign_file: Optional[Callable[[Path], None]] = None):
         self.root = Path(root)
         if not self.root.exists():
             raise FileNotFoundError(f"archive root does not exist: {self.root}")
+        self.workers = max(1, int(workers))
+        self.cache = DecodedFileCache(cache_size) if cache_size > 0 else None
+        self.on_foreign_file = on_foreign_file or _warn_foreign_file
 
     def collectors(self) -> list[str]:
         """Collector directories present in the archive."""
@@ -122,7 +171,11 @@ class Archive:
             if not month_dir.is_dir():
                 continue
             for path in sorted(month_dir.glob(f"{kind}.*.gz")):
-                stamp = _parse_file_stamp(path.name)
+                try:
+                    stamp = _parse_file_stamp(path.name)
+                except ValueError:
+                    self.on_foreign_file(path)
+                    continue
                 if start <= stamp < end:
                     out.append(path)
         return out
@@ -139,26 +192,104 @@ class Archive:
     def rib_files(self, collector: str, start: int, end: int) -> list[Path]:
         return self._files(collector, "bview", start, end)
 
+    def _file_may_match(self, path: Path, start: int, end: int,
+                        record_filter: Optional[RecordFilter]) -> bool:
+        """Sidecar-index skip test; True when no (fresh) index exists."""
+        index = load_index(path)
+        if index is None:
+            return True
+        if index.record_count == 0:
+            return False
+        if index.max_timestamp < start or index.min_timestamp >= end:
+            return False
+        if record_filter is not None and not record_filter.may_match_file(index):
+            return False
+        return True
+
+    def _scan_plan(self, start: int, end: int,
+                   collectors: Optional[Sequence[str]],
+                   record_filter: Optional[RecordFilter]
+                   ) -> list[tuple[str, list[Path]]]:
+        """Per-collector file lists after index-based skipping."""
+        if collectors is not None:
+            collectors = list(collectors)
+        elif record_filter is not None and record_filter.collectors:
+            collectors = sorted(record_filter.collectors)
+        else:
+            collectors = self.collectors()
+        plan = []
+        for collector in collectors:
+            if (record_filter is not None and record_filter.collectors
+                    and collector not in record_filter.collectors):
+                continue
+            paths = [path for path in self.update_files(collector, start, end)
+                     if self._file_may_match(path, start, end, record_filter)]
+            plan.append((collector, paths))
+        return plan
+
+    def _decoded(self, path: Path, collector: str,
+                 record_filter: Optional[RecordFilter]) -> Iterable[Record]:
+        """Decode one file, via the LRU cache when possible.
+
+        The cache only ever stores complete unfiltered decodes, so a
+        filtered scan populates nothing but can still be served from a
+        prior unfiltered decode of the same file.
+        """
+        if self.cache is not None:
+            cached = self.cache.get(path)
+            if cached is not None:
+                if record_filter is None:
+                    return cached
+                return [r for r in cached if record_filter.matches_record(r)]
+            if record_filter is None:
+                records = tuple(read_updates_file(path, collector))
+                self.cache.put(path, records)
+                return records
+        return read_updates_file(path, collector, record_filter=record_filter)
+
     def iter_updates(self, start: int, end: int,
-                     collectors: Optional[Sequence[str]] = None) -> Iterator[Record]:
+                     collectors: Optional[Sequence[str]] = None,
+                     record_filter: Optional[RecordFilter] = None
+                     ) -> Iterator[Record]:
         """Iterate decoded records in [start, end) over all collectors,
-        merged in global (time, collector, peer) order."""
-        collectors = list(collectors) if collectors is not None else self.collectors()
+        merged in global (time, collector, peer) order.
 
-        def stream(collector: str) -> Iterator[Record]:
-            for path in self.update_files(collector, start, end):
-                for record in read_updates_file(path, collector):
-                    if start <= record.timestamp < end:
-                        yield record
+        ``record_filter`` pushes stream-level clauses down to (or below)
+        decode time; the yielded sequence is exactly the unfiltered
+        sequence with non-matching records removed.
+        """
+        plan = self._scan_plan(start, end, collectors, record_filter)
+        total_files = sum(len(paths) for _, paths in plan)
+        if self.workers > 1 and total_files > 1:
+            merged = self._iter_parallel(plan, record_filter)
+        else:
+            merged = self._iter_sequential(plan, record_filter)
+        for record in merged:
+            if start <= record.timestamp < end:
+                yield record
 
-        streams = [stream(c) for c in collectors]
+    def _iter_sequential(self, plan: Sequence[tuple[str, Sequence[Path]]],
+                         record_filter: Optional[RecordFilter]
+                         ) -> Iterator[Record]:
+        def stream(collector: str, paths: Sequence[Path]) -> Iterator[Record]:
+            for path in paths:
+                yield from self._decoded(path, collector, record_filter)
+
+        streams = [stream(c, paths) for c, paths in plan]
         yield from heapq.merge(*streams, key=record_sort_key)
+
+    def _iter_parallel(self, plan: Sequence[tuple[str, Sequence[Path]]],
+                       record_filter: Optional[RecordFilter]
+                       ) -> Iterator[Record]:
+        with worker_pool(self.workers) as pool:
+            if pool is None:  # pools unavailable on this platform
+                yield from self._iter_sequential(plan, record_filter)
+                return
+            yield from iter_plan_parallel(pool, plan, record_filter, self.cache)
 
     def iter_ribs(self, start: int, end: int,
                   collectors: Optional[Sequence[str]] = None) -> Iterator[RibDump]:
         """Iterate RIB snapshots in [start, end), in time order."""
-        import gzip
-
         collectors = list(collectors) if collectors is not None else self.collectors()
         stamped: list[tuple[int, Path]] = []
         for collector in collectors:

@@ -1,0 +1,77 @@
+"""Decoded-file LRU cache for the archive read path.
+
+Benchmarks and experiments habitually re-scan the same time window with
+different detectors; without a cache every scan pays the full gzip +
+MRT decode cost again.  :class:`DecodedFileCache` keeps the most
+recently decoded update files as immutable record tuples, keyed by
+``(path, size, mtime_ns)`` so any rewrite of the underlying file —
+including an :class:`~repro.ris.archive.ArchiveWriter` merge —
+invalidates the entry automatically.
+
+Entries always hold the *complete, unfiltered* decode of a file;
+window trimming and filter push-down are applied on the way out, so one
+cached decode serves every consumer regardless of its filter.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.bgp.messages import Record
+
+__all__ = ["DecodedFileCache"]
+
+
+class DecodedFileCache:
+    """LRU cache of fully-decoded update files."""
+
+    def __init__(self, max_files: int = 32):
+        if max_files <= 0:
+            raise ValueError("max_files must be positive")
+        self.max_files = max_files
+        self._entries: "OrderedDict[str, tuple]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _fingerprint(self, path: Path) -> Optional[tuple]:
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        return (stat.st_size, stat.st_mtime_ns)
+
+    def get(self, path: Union[str, Path]) -> Optional[tuple[Record, ...]]:
+        """Cached record tuple for ``path``, or None (miss or stale)."""
+        path = Path(path)
+        key = str(path)
+        entry = self._entries.get(key)
+        if entry is not None:
+            fingerprint, records = entry
+            if fingerprint == self._fingerprint(path):
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return records
+            del self._entries[key]  # stale: file was rewritten
+        self.misses += 1
+        return None
+
+    def put(self, path: Union[str, Path], records) -> None:
+        path = Path(path)
+        fingerprint = self._fingerprint(path)
+        if fingerprint is None:
+            return
+        key = str(path)
+        self._entries[key] = (fingerprint, tuple(records))
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_files:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

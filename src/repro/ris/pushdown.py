@@ -1,0 +1,111 @@
+"""Record-level filter push-down for the archive read path.
+
+:class:`RecordFilter` is the archive-side mirror of the BGPStream filter
+language (``repro.bgpstream``): the same clause semantics, applied to
+decoded :class:`~repro.bgp.messages.Record` objects *before* they are
+turned into stream elements — and, one level deeper, to raw MRT records
+before path attributes are decoded (see
+:func:`repro.mrt.files.read_updates_file`) and to whole archive files
+via the sidecar index (:mod:`repro.ris.index`).
+
+The filter is immutable and picklable so it can cross the process
+boundary into :mod:`repro.ris.parallel` workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.bgp.messages import Record, UpdateRecord
+from repro.net.prefix import AFI_IPV4, AFI_IPV6, Prefix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (index imports us)
+    from repro.ris.index import FileIndex
+
+__all__ = ["RecordFilter"]
+
+
+@dataclass(frozen=True)
+class RecordFilter:
+    """Pushed-down filter clauses, ANDed together (empty clause = pass).
+
+    ``elem_types`` uses the stream element letters (``"A"``/``"W"``);
+    state records never carry one, so any ``type`` clause excludes them —
+    exactly as ``_Filter.match_elem`` behaves on ``"S"`` elements.
+    """
+
+    peers: frozenset = frozenset()
+    collectors: frozenset = frozenset()
+    ipversion: Optional[int] = None
+    elem_types: frozenset = frozenset()
+    prefix_exact: Optional[Prefix] = None
+    prefix_more: Optional[Prefix] = None
+
+    def __bool__(self) -> bool:
+        return bool(self.peers or self.collectors or self.elem_types
+                    or self.ipversion is not None
+                    or self.prefix_exact is not None
+                    or self.prefix_more is not None)
+
+    @property
+    def has_prefix_clause(self) -> bool:
+        return (self.prefix_exact is not None or self.prefix_more is not None
+                or self.ipversion is not None)
+
+    def match_prefix(self, prefix: Prefix) -> bool:
+        if self.ipversion == 4 and not prefix.is_ipv4:
+            return False
+        if self.ipversion == 6 and not prefix.is_ipv6:
+            return False
+        if self.prefix_exact is not None and prefix != self.prefix_exact:
+            return False
+        if self.prefix_more is not None and not self.prefix_more.contains(prefix):
+            return False
+        return True
+
+    def matches_record(self, record: Record) -> bool:
+        """Record-level equivalent of element matching (1:1 per record)."""
+        if self.peers and record.peer_asn not in self.peers:
+            return False
+        if self.collectors and record.collector not in self.collectors:
+            return False
+        if isinstance(record, UpdateRecord):
+            elem_type = "A" if record.is_announcement else "W"
+            if self.elem_types and elem_type not in self.elem_types:
+                return False
+            return self.match_prefix(record.prefix)
+        # State records: a `type` clause never names them, and they carry
+        # no prefix so they cannot satisfy a prefix/ipversion clause.
+        if self.elem_types:
+            return False
+        return not self.has_prefix_clause
+
+    def may_match_file(self, index: "FileIndex") -> bool:
+        """Whole-file skip test against a sidecar index.
+
+        Returns False only when *no* record in a file with these summary
+        statistics could survive the filter; True is conservative.
+        """
+        if self.peers and not (self.peers & index.peer_asns):
+            return False
+
+        route_possible = index.update_count > 0
+        if route_possible and self.elem_types:
+            counts = {"A": index.announce_count, "W": index.withdraw_count}
+            route_possible = any(counts.get(t, 0) > 0 for t in self.elem_types)
+        if route_possible:
+            wanted_afis = set()
+            if self.ipversion is not None:
+                wanted_afis.add(AFI_IPV4 if self.ipversion == 4 else AFI_IPV6)
+            if self.prefix_exact is not None:
+                wanted_afis.add(self.prefix_exact.afi)
+            if self.prefix_more is not None:
+                wanted_afis.add(self.prefix_more.afi)
+            if wanted_afis and not wanted_afis <= index.afis:
+                # Every prefix clause must be satisfiable by the file.
+                route_possible = False
+
+        state_possible = (index.state_count > 0 and not self.elem_types
+                          and not self.has_prefix_clause)
+        return route_possible or state_possible

@@ -58,6 +58,8 @@ def _stamp(timestamp: int) -> str:
 
 def _parse_stamp(name: str) -> int:
     parts = name.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an archive file name: {name!r}")
     dt = datetime.strptime(parts[1] + parts[2], "%Y%m%d%H%M")
     return int(dt.replace(tzinfo=timezone.utc).timestamp())
 
@@ -122,7 +124,10 @@ class RouteViewsArchive:
             if not updates_dir.is_dir():
                 continue
             for path in sorted(updates_dir.glob("updates.*.bz2")):
-                stamp = _parse_stamp(path.name)
+                try:
+                    stamp = _parse_stamp(path.name)
+                except ValueError:
+                    continue  # foreign file in UPDATES directory
                 if window_start <= stamp < end:
                     out.append(path)
         return out

@@ -1,0 +1,346 @@
+"""Tests for the high-throughput archive read path: sidecar indexes,
+filter push-down, parallel decode equivalence and the decoded-file
+cache."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.bgp import (
+    Announcement,
+    ASPath,
+    PathAttributes,
+    PeerState,
+    StateRecord,
+    UpdateRecord,
+    Withdrawal,
+)
+from repro.bgpstream import BGPStream, compile_filter
+from repro.mrt import iter_update_prefixes, iter_raw_records
+from repro.net import Prefix
+from repro.ris import (
+    Archive,
+    ArchiveWriter,
+    RecordFilter,
+    build_index,
+    index_path,
+    load_index,
+    reindex_archive,
+)
+from repro.utils.timeutil import ts
+
+BASE = ts(2024, 6, 4, 12, 0)
+
+
+def attrs6(*asns):
+    return PathAttributes(as_path=ASPath.of(*asns), next_hop="2001:db8::1")
+
+
+def attrs4(*asns):
+    return PathAttributes(as_path=ASPath.of(*asns), next_hop="192.0.2.1")
+
+
+@pytest.fixture(scope="module")
+def populated_root(tmp_path_factory):
+    """Three collectors, mixed v4/v6 announcements, withdrawals and
+    state changes spread over several 5-minute bins."""
+    root = tmp_path_factory.mktemp("fastpath")
+    writer = ArchiveWriter(root)
+    for c_index, collector in enumerate(("rrc00", "rrc01", "rrc02")):
+        records = []
+        for i in range(40):
+            t = BASE + c_index * 3 + i * 45
+            records.append(UpdateRecord(
+                t, collector, "2001:db8::2", 25091,
+                Announcement(Prefix(f"2a0d:3dc1:{0x1100 + i:x}::/48"),
+                             attrs6(25091, 8298, 210312))))
+            records.append(UpdateRecord(
+                t + 1, collector, "192.0.2.9", 16347,
+                Announcement(Prefix(f"84.205.{i}.0/24"), attrs4(16347, 12654))))
+            if i % 5 == 0:
+                records.append(UpdateRecord(
+                    t + 2, collector, "2001:db8::2", 25091,
+                    Withdrawal(Prefix(f"2a0d:3dc1:{0x1100 + i:x}::/48"))))
+            if i % 11 == 0:
+                records.append(StateRecord(
+                    t + 3, collector, "2001:db8::2", 25091,
+                    PeerState.ESTABLISHED, PeerState.IDLE))
+        writer.write_updates(collector, records)
+    return root
+
+
+WINDOW = (BASE, BASE + 3600)
+
+FILTERS = [
+    None,
+    "prefix more 2a0d:3dc1::/32",
+    "prefix exact 84.205.7.0/24",
+    "ipversion 4",
+    "ipversion 6 and type announcements",
+    "peer 16347",
+    "peer 25091 and type withdrawals",
+    "collector rrc01",
+    "peer 64999",  # matches nothing
+]
+
+
+class TestParallelEquivalence:
+    def test_parallel_sequence_identical(self, populated_root):
+        sequential = Archive(populated_root, workers=1, cache_size=0)
+        parallel = Archive(populated_root, workers=3, cache_size=0)
+        expected = list(sequential.iter_updates(*WINDOW))
+        assert expected  # the fixture produced a non-trivial window
+        assert list(parallel.iter_updates(*WINDOW)) == expected
+
+    @pytest.mark.parametrize("filter_text", FILTERS)
+    def test_pushdown_equals_post_filtering(self, populated_root, filter_text):
+        archive = Archive(populated_root, workers=1, cache_size=0)
+        full = list(archive.iter_updates(*WINDOW))
+        record_filter = compile_filter(filter_text)
+        expected = [r for r in full if record_filter.matches_record(r)]
+        pushed = list(archive.iter_updates(*WINDOW, record_filter=record_filter))
+        assert pushed == expected
+        parallel = Archive(populated_root, workers=3, cache_size=0)
+        assert list(parallel.iter_updates(
+            *WINDOW, record_filter=record_filter)) == expected
+
+    def test_facade_pushdown_matches_element_filtering(self, populated_root):
+        for filter_text in FILTERS[1:]:
+            elems = list(BGPStream(str(populated_root), *WINDOW,
+                                   filter=filter_text))
+            archive = Archive(populated_root, cache_size=0)
+            stream = BGPStream(archive, *WINDOW)
+            baseline = [e for e in stream
+                        if stream._filter.__class__(filter_text).match_elem(e)]
+            assert elems == baseline
+
+
+class TestFileIndex:
+    def test_writer_emits_sidecars(self, populated_root):
+        files = sorted(populated_root.rglob("updates.*.gz"))
+        assert files
+        for path in files:
+            index = load_index(path)
+            assert index is not None
+            assert index.record_count > 0
+            assert index.min_timestamp <= index.max_timestamp
+
+    def test_index_contents_match_decode(self, populated_root):
+        archive = Archive(populated_root, cache_size=0)
+        path = archive.update_files("rrc00", *WINDOW)[0]
+        from repro.mrt.files import read_updates_file
+
+        records = list(read_updates_file(path, "rrc00"))
+        index = load_index(path)
+        rebuilt = build_index(records)
+        assert index == rebuilt
+        assert index.peer_asns == {25091, 16347}
+        assert index.afis == {1, 2}
+
+    def test_stale_sidecar_is_ignored(self, tmp_path):
+        writer = ArchiveWriter(tmp_path)
+        record = UpdateRecord(BASE, "rrc00", "::1", 1,
+                              Withdrawal(Prefix("2001:db8::/32")))
+        (path,) = writer.write_updates("rrc00", [record])
+        assert load_index(path) is not None
+        # A foreign writer rewrites the data file without the sidecar.
+        with gzip.open(path, "wb") as handle:
+            handle.write(b"")
+        assert load_index(path) is None
+        # The read path falls back to decoding (no crash, no stale data).
+        assert list(Archive(tmp_path).iter_updates(BASE, BASE + 300)) == []
+
+    def test_corrupt_sidecar_is_ignored(self, tmp_path):
+        writer = ArchiveWriter(tmp_path)
+        record = UpdateRecord(BASE, "rrc00", "::1", 1,
+                              Withdrawal(Prefix("2001:db8::/32")))
+        (path,) = writer.write_updates("rrc00", [record])
+        index_path(path).write_text("{not json")
+        assert load_index(path) is None
+        assert len(list(Archive(tmp_path).iter_updates(BASE, BASE + 300))) == 1
+
+    def test_index_skips_files_without_decode(self, populated_root, monkeypatch):
+        """A peer filter that excludes every peer must not decompress a
+        single file."""
+        import repro.ris.archive as archive_mod
+
+        calls = []
+        real = archive_mod.read_updates_file
+
+        def counting(path, collector, **kwargs):
+            calls.append(path)
+            return real(path, collector, **kwargs)
+
+        monkeypatch.setattr(archive_mod, "read_updates_file", counting)
+        archive = Archive(populated_root, cache_size=0)
+        record_filter = RecordFilter(peers=frozenset({64999}))
+        assert list(archive.iter_updates(*WINDOW,
+                                         record_filter=record_filter)) == []
+        assert calls == []
+
+    def test_time_skip_via_index(self, tmp_path, monkeypatch):
+        """The start-bin file is pulled in by stamp, but the index skips
+        it when every record precedes ``start``."""
+        import repro.ris.archive as archive_mod
+
+        writer = ArchiveWriter(tmp_path)
+        writer.write_updates("rrc00", [
+            UpdateRecord(BASE + offset, "rrc00", "::1", 1,
+                         Withdrawal(Prefix("2001:db8::/32")))
+            for offset in (0, 30, 60)])
+
+        calls = []
+        real = archive_mod.read_updates_file
+
+        def counting(path, collector, **kwargs):
+            calls.append(path)
+            return real(path, collector, **kwargs)
+
+        monkeypatch.setattr(archive_mod, "read_updates_file", counting)
+        archive = Archive(tmp_path, cache_size=0)
+        # The bin containing start is listed by update_files ...
+        assert len(archive.update_files("rrc00", BASE + 100, BASE + 300)) == 1
+        # ... but its indexed max_timestamp < start, so it never decodes.
+        assert list(archive.iter_updates(BASE + 100, BASE + 300)) == []
+        assert calls == []
+
+    def test_rib_dump_gets_sidecar(self, tmp_path):
+        from repro.mrt import RibDump
+
+        writer = ArchiveWriter(tmp_path)
+        dump = RibDump(BASE, "rrc00")
+        dump.add_route(Prefix("2a0d:3dc1:1200::/48"), 25091, "2001:db8::2",
+                       attrs6(25091, 8298, 210312), BASE - 3600)
+        dump.add_route(Prefix("84.205.64.0/24"), 16347, "192.0.2.9",
+                       attrs4(16347, 12654), BASE - 3600)
+        path = writer.write_rib(dump)
+        index = load_index(path)
+        assert index is not None
+        assert index.record_count == 2
+        assert index.peer_asns == {25091, 16347}
+        assert index.afis == {1, 2}
+        assert index.min_timestamp == index.max_timestamp == BASE
+
+    def test_reindex_archive(self, tmp_path):
+        writer = ArchiveWriter(tmp_path)
+        record = UpdateRecord(BASE, "rrc00", "::1", 1,
+                              Withdrawal(Prefix("2001:db8::/32")))
+        (path,) = writer.write_updates("rrc00", [record])
+        index_path(path).unlink()
+        assert reindex_archive(tmp_path) == 1
+        assert load_index(path) is not None
+        assert reindex_archive(tmp_path) == 0  # fresh sidecars are kept
+        assert reindex_archive(tmp_path, rebuild=True) == 1
+
+
+class TestDecodedFileCache:
+    def test_rescan_hits_cache(self, populated_root, monkeypatch):
+        import repro.ris.archive as archive_mod
+
+        calls = []
+        real = archive_mod.read_updates_file
+
+        def counting(path, collector, **kwargs):
+            calls.append(path)
+            return real(path, collector, **kwargs)
+
+        monkeypatch.setattr(archive_mod, "read_updates_file", counting)
+        archive = Archive(populated_root, cache_size=64)
+        first = list(archive.iter_updates(*WINDOW))
+        decode_count = len(calls)
+        assert decode_count > 0
+        second = list(archive.iter_updates(*WINDOW))
+        assert second == first
+        assert len(calls) == decode_count  # no re-decode
+        assert archive.cache.hits >= decode_count
+
+    def test_filtered_scan_served_from_cached_decode(self, populated_root,
+                                                     monkeypatch):
+        import repro.ris.archive as archive_mod
+
+        calls = []
+        real = archive_mod.read_updates_file
+
+        def counting(path, collector, **kwargs):
+            calls.append(path)
+            return real(path, collector, **kwargs)
+
+        monkeypatch.setattr(archive_mod, "read_updates_file", counting)
+        archive = Archive(populated_root, cache_size=64)
+        full = list(archive.iter_updates(*WINDOW))
+        decode_count = len(calls)
+        record_filter = compile_filter("ipversion 4")
+        filtered = list(archive.iter_updates(*WINDOW,
+                                             record_filter=record_filter))
+        assert len(calls) == decode_count  # cache served the filtered scan
+        assert filtered == [r for r in full if record_filter.matches_record(r)]
+
+    def test_rewrite_invalidates_cache(self, tmp_path):
+        writer = ArchiveWriter(tmp_path)
+        archive = Archive(tmp_path, cache_size=8)
+        writer.write_updates("rrc00", [
+            UpdateRecord(BASE, "rrc00", "::1", 1,
+                         Withdrawal(Prefix("2001:db8::/32")))])
+        assert len(list(archive.iter_updates(BASE, BASE + 300))) == 1
+        writer.write_updates("rrc00", [
+            UpdateRecord(BASE + 10, "rrc00", "::1", 1,
+                         Withdrawal(Prefix("2001:db8::/32")))])
+        assert len(list(archive.iter_updates(BASE, BASE + 300))) == 2
+
+
+class TestForeignFiles:
+    def test_foreign_files_skipped_with_warning(self, tmp_path):
+        writer = ArchiveWriter(tmp_path)
+        writer.write_updates("rrc00", [
+            UpdateRecord(BASE, "rrc00", "::1", 1,
+                         Withdrawal(Prefix("2001:db8::/32")))])
+        month_dir = next((tmp_path / "rrc00").iterdir())
+        (month_dir / "updates.tmp.gz").write_bytes(b"junk")
+        (month_dir / "updates.not-a-date.0000.extra.gz").write_bytes(b"junk")
+        archive = Archive(tmp_path, cache_size=0)
+        with pytest.warns(RuntimeWarning, match="non-archive file"):
+            records = list(archive.iter_updates(BASE, BASE + 300))
+        assert len(records) == 1
+
+    def test_foreign_file_hook_override(self, tmp_path):
+        writer = ArchiveWriter(tmp_path)
+        writer.write_updates("rrc00", [
+            UpdateRecord(BASE, "rrc00", "::1", 1,
+                         Withdrawal(Prefix("2001:db8::/32")))])
+        month_dir = next((tmp_path / "rrc00").iterdir())
+        (month_dir / "updates.tmp.gz").write_bytes(b"junk")
+        seen = []
+        archive = Archive(tmp_path, cache_size=0,
+                          on_foreign_file=seen.append)
+        assert len(list(archive.iter_updates(BASE, BASE + 300))) == 1
+        assert [p.name for p in seen] == ["updates.tmp.gz"]
+
+    def test_sidecars_never_parsed_as_archive_files(self, tmp_path):
+        writer = ArchiveWriter(tmp_path)
+        writer.write_updates("rrc00", [
+            UpdateRecord(BASE, "rrc00", "::1", 1,
+                         Withdrawal(Prefix("2001:db8::/32")))])
+        archive = Archive(tmp_path, cache_size=0)
+        # .idx sidecars exist next to the data files and must not be
+        # globbed up as update files.
+        files = archive.update_files("rrc00", BASE, BASE + 300)
+        assert all(p.suffix == ".gz" for p in files)
+        assert len(files) == 1
+
+
+class TestPrematchWalker:
+    def test_walker_yields_all_prefixes(self, populated_root):
+        archive = Archive(populated_root, cache_size=0)
+        from repro.mrt.files import read_updates_file
+
+        for path in archive.update_files("rrc00", *WINDOW)[:3]:
+            decoded_prefixes = set()
+            for record in read_updates_file(path, "rrc00"):
+                if isinstance(record, UpdateRecord):
+                    decoded_prefixes.add(record.prefix)
+            walked = set()
+            for header, body in iter_raw_records(path):
+                walked.update(iter_update_prefixes(header, body))
+            # The walker is a (cheap) superset of the decoded prefixes.
+            assert decoded_prefixes <= walked

@@ -139,9 +139,33 @@ class TestFilters:
         # prefix filters apply to route elems only.
         assert all(e.type in ("A", "W") for e in elems)
 
+    def test_multi_token_peer_clause(self, archive_root):
+        """A ``peer`` clause may list several ASNs in one clause."""
+        elems = list(BGPStream(str(archive_root), BASE, BASE + 300,
+                               filter="peer 25091 16347"))
+        assert {e.peer_asn for e in elems} == {25091, 16347}
+        # Order of the union is the stream order, not the clause order.
+        assert [e.time for e in elems] == [BASE + 10, BASE + 20, BASE + 30,
+                                           BASE + 40]
+
+    def test_state_elems_survive_peer_but_not_prefix_clauses(self, archive_root):
+        """State elems carry no prefix: a prefix/ipversion clause excludes
+        them, while peer/collector clauses keep them."""
+        by_peer = list(BGPStream(str(archive_root), BASE, BASE + 300,
+                                 filter="peer 25091"))
+        assert "S" in {e.type for e in by_peer}
+        for clause in ("prefix more 2a0d:3dc1::/32", "ipversion 6"):
+            elems = list(BGPStream(str(archive_root), BASE, BASE + 300,
+                                   filter=clause))
+            assert "S" not in {e.type for e in elems}
+
     def test_bad_filter_keyword(self, archive_root):
         with pytest.raises(FilterError):
             BGPStream(str(archive_root), BASE, BASE + 300, filter="frobnicate 1")
+
+    def test_bare_keyword_without_value(self, archive_root):
+        with pytest.raises(FilterError):
+            BGPStream(str(archive_root), BASE, BASE + 300, filter="peer")
 
     def test_bad_prefix_mode(self, archive_root):
         with pytest.raises(FilterError):
@@ -152,3 +176,15 @@ class TestFilters:
         with pytest.raises(FilterError):
             BGPStream(str(archive_root), BASE, BASE + 300,
                       filter="prefix exact not-a-prefix")
+
+    def test_compile_filter_mirrors_stream_filter(self, archive_root):
+        from repro.bgpstream import compile_filter
+
+        record_filter = compile_filter("peer 25091 16347 and ipversion 6")
+        assert record_filter.peers == {25091, 16347}
+        assert record_filter.ipversion == 6
+        assert bool(record_filter)
+        assert not compile_filter(None)
+        assert not compile_filter("")
+        with pytest.raises(FilterError):
+            compile_filter("frobnicate 1")

@@ -93,6 +93,21 @@ class TestWriteRead:
         got = list(archive.iter_updates(BASE + 50, BASE + 300))
         assert [r.timestamp for r in got] == [BASE + 100]
 
+    def test_update_files_includes_bin_containing_start(self, tmp_path):
+        """A window starting mid-bin must include the file whose stamp
+        precedes ``start`` — its tail records fall inside the window."""
+        writer = ArchiveWriter(tmp_path)
+        writer.write_updates("rrc00", [
+            withdraw(BASE + 60, "rrc00", "::1", 1, "2001:db8::/32"),
+            withdraw(BASE + 360, "rrc00", "::1", 1, "2001:db8::/32"),
+        ])
+        archive = Archive(tmp_path)
+        # start = BASE+120 lies inside the [BASE, BASE+300) bin.
+        files = archive.update_files("rrc00", BASE + 120, BASE + 600)
+        assert [p.name.split(".")[2] for p in files] == ["1200", "1205"]
+        # And the end boundary is exclusive on file stamps:
+        assert archive.update_files("rrc00", BASE, BASE + 300) == files[:1]
+
     def test_multi_collector_merge_order(self, tmp_path):
         writer = ArchiveWriter(tmp_path)
         writer.write_updates("rrc01", [withdraw(BASE + 30, "rrc01", "::1", 1, "2001:db8::/32")])
