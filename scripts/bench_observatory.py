@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Measure observatory ingest and query throughput and emit
+``BENCH_observatory.json``.
+
+Builds the deterministic synthetic observatory scenario
+(:func:`repro.observatory.build_synthetic_archive`, scaled up with
+``--days``), then times:
+
+* ``ingest``        — full archive → event-store ingest, records/s
+* ``resume``        — kill after half the stream and resume to completion
+* ``query_http``    — ``/outbreaks`` + ``/zombies`` + ``/resurrections``
+  round-trips against a live :class:`ObservatoryServer` (per-query
+  latency)
+* ``query_store``   — the same scans straight off ``EventStore.events``
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_observatory.py [--days 6]
+        [--rounds 3] [--queries 50] [--out BENCH_observatory.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.observatory import (  # noqa: E402
+    EventStore,
+    ObservatoryClient,
+    ObservatoryIngest,
+    ObservatoryServer,
+    build_synthetic_archive,
+    load_scenario,
+)
+from repro.ris import Archive  # noqa: E402
+
+
+def make_ingest(built, config, store_dir, checkpoint):
+    return ObservatoryIngest(
+        Archive(built.root), EventStore(store_dir), checkpoint,
+        config["intervals"], config["start"], config["end"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--days", type=int, default=6,
+                        help="campaign days in the synthetic scenario")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per leg; best is kept")
+    parser.add_argument("--queries", type=int, default=50,
+                        help="HTTP round-trips per endpoint")
+    parser.add_argument("--out", default="BENCH_observatory.json")
+    args = parser.parse_args(argv)
+
+    results: dict = {
+        "host": {"cpu_count": os.cpu_count()},
+        "rounds": args.rounds,
+        "legs": {},
+    }
+
+    with tempfile.TemporaryDirectory(prefix="bench_observatory_") as tmp:
+        root = Path(tmp)
+        built = build_synthetic_archive(root / "archive", days=args.days)
+        config = load_scenario(built.scenario_path)
+        results["workload"] = {
+            "days": args.days,
+            "records": built.record_count,
+            "intervals": len(built.intervals),
+            "window_seconds": built.end - built.start,
+        }
+
+        # --- ingest: full archive -> event store, best of N rounds ----
+        best = float("inf")
+        ingest = None
+        for round_index in range(args.rounds):
+            store_dir = root / f"store-{round_index}"
+            t0 = time.perf_counter()
+            ingest = make_ingest(built, config, store_dir,
+                                 root / f"ckpt-{round_index}.json")
+            ingest.run()
+            ingest.finish()
+            best = min(best, time.perf_counter() - t0)
+        records = ingest.records_ingested
+        events = ingest.store.next_seq
+        results["legs"]["ingest"] = {
+            "seconds": round(best, 6),
+            "records": records,
+            "records_per_second": round(records / best, 1),
+            "events_emitted": events,
+        }
+        print(f"    ingest: {records:6d} records in {best * 1e3:8.1f} ms "
+              f"({records / best:,.0f} rec/s, {events} events)")
+
+        # --- resume: kill at the halfway mark, restart, finish --------
+        best = float("inf")
+        for round_index in range(args.rounds):
+            store_dir = root / f"resume-{round_index}"
+            checkpoint = root / f"resume-{round_index}.json"
+            first = make_ingest(built, config, store_dir, checkpoint)
+            first.run(max_records=records // 2)
+            first.store.close()
+            t0 = time.perf_counter()
+            resumed = make_ingest(built, config, store_dir, checkpoint)
+            resumed.run()
+            resumed.finish()
+            best = min(best, time.perf_counter() - t0)
+        results["legs"]["resume"] = {
+            "seconds": round(best, 6),
+            "records": records - records // 2,
+            "records_per_second": round((records - records // 2) / best, 1),
+            "note": "restart from a mid-stream checkpoint; includes "
+                    "snapshot restore and store truncation",
+        }
+        print(f"    resume: {records - records // 2:6d} records in "
+              f"{best * 1e3:8.1f} ms")
+
+        # --- queries ---------------------------------------------------
+        store = ingest.store
+        server = ObservatoryServer(store, ingest=ingest).start()
+        try:
+            client = ObservatoryClient(server.url)
+            endpoints = {
+                "outbreaks": lambda: client.outbreaks(),
+                "zombies": lambda: client.zombies(),
+                "resurrections": lambda: client.resurrections(),
+            }
+            http = {}
+            for name, call in endpoints.items():
+                call()  # warm up
+                t0 = time.perf_counter()
+                for _ in range(args.queries):
+                    call()
+                elapsed = time.perf_counter() - t0
+                http[name] = {
+                    "queries": args.queries,
+                    "mean_ms": round(elapsed / args.queries * 1e3, 3),
+                    "queries_per_second": round(args.queries / elapsed, 1),
+                }
+                print(f"{name:>10}: {http[name]['mean_ms']:7.3f} ms/query "
+                      f"over HTTP")
+            results["legs"]["query_http"] = http
+        finally:
+            server.stop()
+
+        t0 = time.perf_counter()
+        for _ in range(args.queries):
+            scanned = sum(1 for _ in store.events())
+        elapsed = time.perf_counter() - t0
+        results["legs"]["query_store"] = {
+            "queries": args.queries,
+            "events_scanned": scanned,
+            "mean_ms": round(elapsed / args.queries * 1e3, 3),
+            "events_per_second": round(scanned * args.queries / elapsed, 1),
+        }
+        print(f"     store: {results['legs']['query_store']['mean_ms']:7.3f} "
+              f"ms/full-scan ({scanned} events)")
+
+        shutil.rmtree(root / "store-0", ignore_errors=True)
+
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2, sort_keys=False) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

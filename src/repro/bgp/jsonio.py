@@ -1,0 +1,100 @@
+"""JSON (de)serialisation of collected records and path attributes.
+
+MRT is the archive wire format; this module is the *state* wire format:
+checkpoints and detector snapshots (:mod:`repro.observatory`) need to
+persist individual records — most importantly the "last announcement"
+that makes a zombie route PRESENT — inside JSON documents.  The mapping
+is lossless for every field the pipeline models, so a record survives a
+``record_to_json``/``record_from_json`` round trip unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.bgp.attributes import Aggregator, ASPath, PathAttributes
+from repro.bgp.messages import (
+    Announcement,
+    PeerState,
+    Record,
+    StateRecord,
+    UpdateRecord,
+    Withdrawal,
+)
+from repro.net.prefix import Prefix
+
+__all__ = ["attributes_to_json", "attributes_from_json",
+           "record_to_json", "record_from_json"]
+
+
+def attributes_to_json(attributes: PathAttributes) -> dict[str, Any]:
+    """A JSON-safe dict capturing every modelled attribute field."""
+    payload: dict[str, Any] = {
+        "as_path": list(attributes.as_path.asns),
+        "next_hop": attributes.next_hop,
+        "origin": attributes.origin,
+    }
+    if attributes.aggregator is not None:
+        payload["aggregator"] = {"asn": attributes.aggregator.asn,
+                                 "address": attributes.aggregator.address}
+    if attributes.communities:
+        payload["communities"] = [list(pair) for pair in attributes.communities]
+    return payload
+
+
+def attributes_from_json(payload: dict[str, Any]) -> PathAttributes:
+    aggregator: Optional[Aggregator] = None
+    if payload.get("aggregator") is not None:
+        aggregator = Aggregator(payload["aggregator"]["asn"],
+                                payload["aggregator"]["address"])
+    communities = tuple((int(high), int(low))
+                        for high, low in payload.get("communities", ()))
+    return PathAttributes(
+        as_path=ASPath.of(*payload["as_path"]),
+        next_hop=payload["next_hop"],
+        origin=payload["origin"],
+        aggregator=aggregator,
+        communities=communities,
+    )
+
+
+def record_to_json(record: Record) -> dict[str, Any]:
+    """Serialise an :class:`UpdateRecord` or :class:`StateRecord`."""
+    base = {
+        "timestamp": record.timestamp,
+        "collector": record.collector,
+        "peer_address": record.peer_address,
+        "peer_asn": record.peer_asn,
+    }
+    if isinstance(record, StateRecord):
+        base["kind"] = "state"
+        base["old_state"] = record.old_state.value
+        base["new_state"] = record.new_state.value
+        return base
+    assert isinstance(record, UpdateRecord)
+    base["prefix"] = str(record.prefix)
+    if record.is_announcement:
+        base["kind"] = "announce"
+        base["attributes"] = attributes_to_json(record.message.attributes)
+    else:
+        base["kind"] = "withdraw"
+    return base
+
+
+def record_from_json(payload: dict[str, Any]) -> Record:
+    """Inverse of :func:`record_to_json`."""
+    kind = payload["kind"]
+    if kind == "state":
+        return StateRecord(
+            payload["timestamp"], payload["collector"],
+            payload["peer_address"], payload["peer_asn"],
+            PeerState(payload["old_state"]), PeerState(payload["new_state"]))
+    prefix = Prefix(payload["prefix"])
+    if kind == "announce":
+        message = Announcement(prefix, attributes_from_json(payload["attributes"]))
+    elif kind == "withdraw":
+        message = Withdrawal(prefix)
+    else:
+        raise ValueError(f"unknown record kind: {kind!r}")
+    return UpdateRecord(payload["timestamp"], payload["collector"],
+                        payload["peer_address"], payload["peer_asn"], message)

@@ -8,6 +8,11 @@ Commands
 ``replication``  run the §3 replication periods and print Tables 1-4
 ``detect``       run the revised detector over an on-disk RIS archive
 ``index``        write sidecar file indexes for an existing archive
+``observatory``  the long-running detection service (§6):
+                 ``synth`` / ``ingest`` / ``serve`` / ``query`` / ``compact``
+
+Anticipated operator errors (missing paths, malformed times, bad
+filters) exit with code 2 and a one-line message, never a traceback.
 """
 
 from __future__ import annotations
@@ -20,10 +25,14 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'A First Look into Long-lived BGP "
                     "Zombies' (IMC 2025)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     report = sub.add_parser("report", help="regenerate all tables/figures")
@@ -67,6 +76,52 @@ def build_parser() -> argparse.ArgumentParser:
     index.add_argument("archive", help="archive root directory")
     index.add_argument("--rebuild", action="store_true",
                        help="rewrite sidecars even when fresh ones exist")
+
+    observatory = sub.add_parser(
+        "observatory", help="long-running zombie detection service (§6)")
+    obs = observatory.add_subparsers(dest="observatory_command", required=True)
+
+    synth = obs.add_parser(
+        "synth", help="build a scripted synthetic campaign archive")
+    synth.add_argument("archive", help="archive root directory to create")
+    synth.add_argument("--days", type=int, default=2,
+                       help="beacon days to script (default 2)")
+
+    ingest = obs.add_parser(
+        "ingest", help="tail an archive into the event store (resumable)")
+    ingest.add_argument("archive", help="archive root directory")
+    ingest.add_argument("store", help="event store directory")
+    ingest.add_argument("--checkpoint", default=None,
+                        help="checkpoint file (default <store>/checkpoint.json)")
+    ingest.add_argument("--scenario", default=None,
+                        help="scenario.json describing window + intervals "
+                             "(default <archive>/scenario.json)")
+    ingest.add_argument("--checkpoint-every", type=int, default=1000,
+                        help="records between periodic checkpoints")
+    ingest.add_argument("--max-records", type=int, default=None,
+                        help="stop after N records (resume later)")
+    ingest.add_argument("--workers", type=int, default=1,
+                        help="decode archive files on N worker processes")
+
+    serve = obs.add_parser(
+        "serve", help="serve the JSON/metrics API over an event store")
+    serve.add_argument("store", help="event store directory")
+    serve.add_argument("--archive", default=None,
+                       help="archive root (adds read-path metrics)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8480)
+
+    query = obs.add_parser("query", help="query an event store directly")
+    query.add_argument("store", help="event store directory")
+    query.add_argument("what", choices=["outbreaks", "resurrections",
+                                        "zombies", "events"])
+    query.add_argument("--prefix", default=None)
+    query.add_argument("--since", type=int, default=None)
+    query.add_argument("--until", type=int, default=None)
+
+    compact = obs.add_parser(
+        "compact", help="fold superseded lifespan events in a store")
+    compact.add_argument("store", help="event store directory")
     return parser
 
 
@@ -183,6 +238,125 @@ def _cmd_index(args) -> int:
     return 0
 
 
+def _cmd_observatory(args) -> int:
+    handlers = {
+        "synth": _cmd_observatory_synth,
+        "ingest": _cmd_observatory_ingest,
+        "serve": _cmd_observatory_serve,
+        "query": _cmd_observatory_query,
+        "compact": _cmd_observatory_compact,
+    }
+    return handlers[args.observatory_command](args)
+
+
+def _cmd_observatory_synth(args) -> int:
+    from repro.observatory import build_synthetic_archive
+
+    scenario = build_synthetic_archive(args.archive, days=args.days)
+    print(f"wrote {scenario.record_count} records, "
+          f"{len(scenario.intervals)} beacon intervals under {scenario.root}")
+    print(f"scenario: {scenario.scenario_path}")
+    for name, prefix in sorted(scenario.scripted.items()):
+        print(f"  scripted {name}: {prefix}")
+    return 0
+
+
+def _load_scenario_for(args):
+    from pathlib import Path
+
+    from repro.observatory import load_scenario
+
+    path = Path(args.scenario) if args.scenario \
+        else Path(args.archive) / "scenario.json"
+    if not path.exists():
+        raise FileNotFoundError(f"no scenario file at {path} "
+                                f"(pass --scenario explicitly)")
+    return load_scenario(path)
+
+
+def _cmd_observatory_ingest(args) -> int:
+    from pathlib import Path
+
+    from repro.observatory import EventStore, ObservatoryIngest
+    from repro.ris import Archive
+
+    scenario = _load_scenario_for(args)
+    checkpoint = Path(args.checkpoint) if args.checkpoint \
+        else Path(args.store) / "checkpoint.json"
+    archive = Archive(args.archive, workers=args.workers)
+    store = EventStore(args.store)
+    ingest = ObservatoryIngest(
+        archive, store, checkpoint, scenario["intervals"],
+        scenario["start"], scenario["end"],
+        threshold=scenario.get("threshold", 90 * 60),
+        quiet=scenario.get("quiet", 120 * 60),
+        excluded_peers=scenario.get("excluded_peers", frozenset()),
+        checkpoint_every=args.checkpoint_every)
+    ingested = ingest.run(max_records=args.max_records)
+    if args.max_records is None:
+        ingest.finish()
+    else:
+        ingest.checkpoint()
+    store.close()
+    stats = ingest.stats()
+    print(f"ingested {ingested} records this run "
+          f"({stats['records_ingested']} total, "
+          f"{stats['dumps_ingested']} dumps); "
+          f"{stats['events_appended']} events in store; "
+          f"finished={stats['finished']}")
+    return 0
+
+
+def _cmd_observatory_serve(args) -> int:
+    from repro.observatory import EventStore, ObservatoryServer
+    from repro.ris import Archive
+
+    store = EventStore(args.store, readonly=True)
+    archive = Archive(args.archive) if args.archive else None
+    server = ObservatoryServer(store, host=args.host, port=args.port,
+                               archive=archive)
+    print(f"observatory listening on {server.url}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_observatory_query(args) -> int:
+    import json
+
+    from repro.observatory import EventStore
+
+    store = EventStore(args.store, readonly=True)
+    kinds = {"outbreaks": ("outbreak",), "resurrections": ("resurrection",),
+             "zombies": ("lifespan",), "events": None}[args.what]
+    if args.what == "zombies":
+        latest = {}
+        for event in store.events(kinds=kinds, prefix=args.prefix,
+                                  since=args.since, until=args.until):
+            latest[event["prefix"]] = event
+        rows = [latest[prefix] for prefix in sorted(latest)
+                if latest[prefix]["segment_count"] > 0]
+    else:
+        rows = list(store.events(kinds=kinds, prefix=args.prefix,
+                                 since=args.since, until=args.until))
+    for row in rows:
+        print(json.dumps(row, sort_keys=True))
+    return 0
+
+
+def _cmd_observatory_compact(args) -> int:
+    from repro.observatory import EventStore
+
+    store = EventStore(args.store)
+    result = store.compact()
+    store.close()
+    print(f"compacted: kept {result['kept']}, dropped {result['dropped']} "
+          f"superseded lifespan event(s)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -191,8 +365,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "replication": _cmd_replication,
         "detect": _cmd_detect,
         "index": _cmd_index,
+        "observatory": _cmd_observatory,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -7,7 +7,13 @@ from repro.core.detector import (
     ZombieDetector,
 )
 from repro.core.legacy import LegacyDetector
-from repro.core.lifespan import LifespanTracker, PresenceSegment, ZombieLifespan
+from repro.core.lifespan import (
+    LifespanDelta,
+    LifespanSession,
+    LifespanTracker,
+    PresenceSegment,
+    ZombieLifespan,
+)
 from repro.core.noisy import NoisyPeerDetector, NoisyPeerReport, PeerStat
 from repro.core.outbreaks import ZombieOutbreak, ZombieRoute
 from repro.core.resurrection import (
@@ -36,6 +42,8 @@ __all__ = [
     "DetectorConfig",
     "ZombieDetector",
     "LegacyDetector",
+    "LifespanDelta",
+    "LifespanSession",
     "LifespanTracker",
     "PresenceSegment",
     "ZombieLifespan",

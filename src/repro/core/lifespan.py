@@ -15,14 +15,18 @@ the prefix disappeared from every peer and later came back — a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional
 
 from repro.core.state import PeerKey
 from repro.mrt.tabledump import RibDump
 from repro.net.prefix import Prefix
 from repro.utils.timeutil import DAY, MINUTE
 
-__all__ = ["PresenceSegment", "ZombieLifespan", "LifespanTracker"]
+__all__ = ["PresenceSegment", "ZombieLifespan", "LifespanTracker",
+           "LifespanDelta", "LifespanSession"]
+
+#: Session snapshot document version.
+SNAPSHOT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -81,6 +85,203 @@ class ZombieLifespan:
         return (span[1] - span[0]) / DAY
 
 
+@dataclass(frozen=True)
+class LifespanDelta:
+    """One prefix's presence change committed at one dump instant."""
+
+    prefix: Prefix
+    instant: int
+    #: any (non-excluded) peer held the route at this instant.
+    visible: bool
+    #: this instant opened a new presence segment.
+    started_segment: bool
+    #: the new segment follows a gap (or a late first sighting) — the
+    #: §5.1 dump-scale resurrection signal.
+    resurrection: bool
+    #: peers holding the route at this instant.
+    peers: frozenset[PeerKey] = frozenset()
+
+
+@dataclass
+class _PrefixProgress:
+    """Mutable per-prefix lifespan state inside a session."""
+
+    withdraw_time: int
+    segments: list[PresenceSegment] = field(default_factory=list)
+    run_start: Optional[int] = None
+    run_end: Optional[int] = None
+    run_peers: set[PeerKey] = field(default_factory=set)
+    peer_spans: dict[PeerKey, tuple[int, int]] = field(default_factory=dict)
+
+
+class LifespanSession:
+    """Incremental lifespan tracking over a RIB-dump stream.
+
+    Dumps must arrive in non-decreasing timestamp order; several dumps
+    (different collectors) may share one instant, so an instant is only
+    *committed* when a strictly later dump arrives (or on
+    :meth:`finalize`).  The session is restart-safe: :meth:`snapshot`
+    captures the complete state — including the uncommitted instant
+    buffer — and :meth:`from_snapshot` resumes it exactly.
+    """
+
+    def __init__(self, final_withdrawals: dict[Prefix, int],
+                 excluded_peers: frozenset[PeerKey] = frozenset(),
+                 min_stuck: int = 90 * MINUTE,
+                 late_first_seen: int = 2 * DAY):
+        self.min_stuck = min_stuck
+        self.late_first_seen = late_first_seen
+        self.excluded_peers = excluded_peers
+        self._progress: dict[Prefix, _PrefixProgress] = {
+            prefix: _PrefixProgress(withdraw_time)
+            for prefix, withdraw_time in final_withdrawals.items()}
+        #: instant buffered but not yet committed.
+        self._pending_instant: Optional[int] = None
+        self._pending: dict[Prefix, set[PeerKey]] = {}
+
+    # -- ingestion -------------------------------------------------------
+
+    def observe(self, dump: RibDump) -> list[LifespanDelta]:
+        """Feed one dump; returns deltas for any instant this commits."""
+        deltas: list[LifespanDelta] = []
+        if (self._pending_instant is not None
+                and dump.timestamp < self._pending_instant):
+            raise ValueError(
+                f"dump at {dump.timestamp} arrived after instant "
+                f"{self._pending_instant} was buffered (out of order)")
+        if (self._pending_instant is not None
+                and dump.timestamp > self._pending_instant):
+            deltas = self._commit()
+        self._pending_instant = dump.timestamp
+        for prefix, progress in self._progress.items():
+            if dump.timestamp < progress.withdraw_time + self.min_stuck:
+                continue
+            holders = {(dump.collector, address)
+                       for _, address in dump.peers_holding(prefix)}
+            holders -= self.excluded_peers
+            if holders:
+                self._pending.setdefault(prefix, set()).update(holders)
+        return deltas
+
+    def finalize(self) -> list[LifespanDelta]:
+        """Commit the trailing buffered instant (end of dump stream)."""
+        return self._commit()
+
+    def _commit(self) -> list[LifespanDelta]:
+        if self._pending_instant is None:
+            return []
+        instant = self._pending_instant
+        deltas: list[LifespanDelta] = []
+        for prefix in sorted(self._progress, key=str):
+            progress = self._progress[prefix]
+            if instant < progress.withdraw_time + self.min_stuck:
+                continue
+            holders = self._pending.get(prefix, set())
+            if holders:
+                started = progress.run_start is None
+                resurrection = started and (
+                    bool(progress.segments)
+                    or instant > progress.withdraw_time + self.late_first_seen)
+                if started:
+                    progress.run_start = instant
+                progress.run_end = instant
+                progress.run_peers.update(holders)
+                for peer in holders:
+                    first, _ = progress.peer_spans.get(peer, (instant, instant))
+                    progress.peer_spans[peer] = (first, instant)
+                deltas.append(LifespanDelta(prefix, instant, True, started,
+                                            resurrection, frozenset(holders)))
+            elif progress.run_start is not None:
+                progress.segments.append(PresenceSegment(
+                    progress.run_start, progress.run_end,
+                    frozenset(progress.run_peers)))
+                progress.run_start = progress.run_end = None
+                progress.run_peers = set()
+                deltas.append(LifespanDelta(prefix, instant, False, False,
+                                            False))
+        self._pending_instant = None
+        self._pending = {}
+        return deltas
+
+    # -- results ---------------------------------------------------------
+
+    def lifespans(self) -> dict[Prefix, ZombieLifespan]:
+        """Current lifespans (the open run counts as a segment so far)."""
+        out: dict[Prefix, ZombieLifespan] = {}
+        for prefix, progress in self._progress.items():
+            lifespan = ZombieLifespan(prefix, progress.withdraw_time)
+            lifespan.segments = list(progress.segments)
+            if progress.run_start is not None:
+                lifespan.segments.append(PresenceSegment(
+                    progress.run_start, progress.run_end,
+                    frozenset(progress.run_peers)))
+            lifespan.peer_spans = dict(progress.peer_spans)
+            out[prefix] = lifespan
+        return out
+
+    def lifespan_for(self, prefix: Prefix) -> Optional[ZombieLifespan]:
+        if prefix not in self._progress:
+            return None
+        return self.lifespans()[prefix]
+
+    # -- persistence -----------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe document capturing the complete session state."""
+        prefixes = {}
+        for prefix, p in sorted(self._progress.items(), key=lambda kv: str(kv[0])):
+            prefixes[str(prefix)] = {
+                "withdraw_time": p.withdraw_time,
+                "segments": [[s.start, s.end, sorted(s.peers)]
+                             for s in p.segments],
+                "run": ([p.run_start, p.run_end, sorted(p.run_peers)]
+                        if p.run_start is not None else None),
+                "peer_spans": [[c, a, first, last]
+                               for (c, a), (first, last)
+                               in sorted(p.peer_spans.items())],
+            }
+        return {
+            "version": SNAPSHOT_VERSION,
+            "min_stuck": self.min_stuck,
+            "late_first_seen": self.late_first_seen,
+            "excluded_peers": sorted([c, a] for c, a in self.excluded_peers),
+            "pending_instant": self._pending_instant,
+            "pending": {str(prefix): sorted([c, a] for c, a in holders)
+                        for prefix, holders in sorted(self._pending.items(),
+                                                      key=lambda kv: str(kv[0]))},
+            "prefixes": prefixes,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict[str, Any]) -> "LifespanSession":
+        if snapshot.get("version") != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported LifespanSession snapshot version: "
+                f"{snapshot.get('version')!r}")
+        session = cls({},
+                      excluded_peers=frozenset(
+                          (c, a) for c, a in snapshot["excluded_peers"]),
+                      min_stuck=snapshot["min_stuck"],
+                      late_first_seen=snapshot["late_first_seen"])
+        for text, data in snapshot["prefixes"].items():
+            progress = _PrefixProgress(data["withdraw_time"])
+            progress.segments = [
+                PresenceSegment(start, end, frozenset((c, a) for c, a in peers))
+                for start, end, peers in data["segments"]]
+            if data["run"] is not None:
+                start, end, peers = data["run"]
+                progress.run_start = start
+                progress.run_end = end
+                progress.run_peers = {(c, a) for c, a in peers}
+            progress.peer_spans = {(c, a): (first, last)
+                                   for c, a, first, last in data["peer_spans"]}
+            session._progress[Prefix(text)] = progress
+        session._pending_instant = snapshot["pending_instant"]
+        session._pending = {Prefix(text): {(c, a) for c, a in holders}
+                            for text, holders in snapshot["pending"].items()}
+        return session
+
+
 class LifespanTracker:
     """Replay RIB dumps and measure zombie lifespans."""
 
@@ -89,6 +290,14 @@ class LifespanTracker:
         #: long after the withdrawal (consistent with the 90-minute
         #: detection threshold).
         self.min_stuck = min_stuck
+
+    def session(self, final_withdrawals: dict[Prefix, int],
+                excluded_peers: frozenset[PeerKey] = frozenset(),
+                late_first_seen: int = 2 * DAY) -> LifespanSession:
+        """An incremental (restart-safe) tracking session."""
+        return LifespanSession(final_withdrawals, excluded_peers,
+                               min_stuck=self.min_stuck,
+                               late_first_seen=late_first_seen)
 
     def track(self, dumps: Iterable[RibDump],
               final_withdrawals: dict[Prefix, int],
@@ -100,54 +309,8 @@ class LifespanTracker:
 
         ``excluded_peers`` removes noisy peer routers, giving the
         "noisy peers excluded" line of Fig. 3."""
-        presence: dict[Prefix, dict[int, set[PeerKey]]] = {
-            prefix: {} for prefix in final_withdrawals}
-        dump_instants: set[int] = set()
-
-        for dump in dumps:
-            dump_instants.add(dump.timestamp)
-            for prefix, withdraw_time in final_withdrawals.items():
-                if dump.timestamp < withdraw_time + self.min_stuck:
-                    continue
-                holders = {(dump.collector, address)
-                           for _, address in dump.peers_holding(prefix)}
-                holders -= excluded_peers
-                if holders:
-                    slot = presence[prefix].setdefault(dump.timestamp, set())
-                    slot.update(holders)
-
-        instants = sorted(dump_instants)
-        return {
-            prefix: self._build_lifespan(prefix, withdraw_time,
-                                         presence[prefix], instants)
-            for prefix, withdraw_time in final_withdrawals.items()
-        }
-
-    def _build_lifespan(self, prefix: Prefix, withdraw_time: int,
-                        seen: dict[int, set[PeerKey]],
-                        instants: list[int]) -> ZombieLifespan:
-        lifespan = ZombieLifespan(prefix, withdraw_time)
-        current_start: Optional[int] = None
-        current_end: Optional[int] = None
-        current_peers: set[PeerKey] = set()
-
-        relevant = [t for t in instants if t >= withdraw_time + self.min_stuck]
-        for instant in relevant:
-            holders = seen.get(instant)
-            if holders:
-                if current_start is None:
-                    current_start = instant
-                current_end = instant
-                current_peers.update(holders)
-                for peer in holders:
-                    first, _ = lifespan.peer_spans.get(peer, (instant, instant))
-                    lifespan.peer_spans[peer] = (first, instant)
-            elif current_start is not None:
-                lifespan.segments.append(PresenceSegment(
-                    current_start, current_end, frozenset(current_peers)))
-                current_start = current_end = None
-                current_peers = set()
-        if current_start is not None:
-            lifespan.segments.append(PresenceSegment(
-                current_start, current_end, frozenset(current_peers)))
-        return lifespan
+        session = self.session(final_withdrawals, excluded_peers)
+        for dump in sorted(dumps, key=lambda d: d.timestamp):
+            session.observe(dump)
+        session.finalize()
+        return session.lifespans()

@@ -1,0 +1,45 @@
+"""The zombie observatory: a long-running detection service.
+
+The paper's §6 closes with the vision of an operator platform that
+watches the RIS stream continuously.  This package is that platform in
+miniature:
+
+* :mod:`repro.observatory.ingest` tails an on-disk archive through the
+  indexed read path, feeds the streaming detector / resurrection monitor
+  / lifespan session, and checkpoints everything so a restarted process
+  resumes exactly where it left off;
+* :mod:`repro.observatory.store` is the durable, append-only event
+  store the ingest writes and the query layer reads;
+* :mod:`repro.observatory.server` / :mod:`repro.observatory.client`
+  expose the store over a JSON HTTP API with Prometheus-style metrics;
+* :mod:`repro.observatory.synthetic` builds a small scripted campaign
+  archive so the whole loop can be exercised without real RIS data.
+"""
+
+from repro.observatory.checkpoint import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.observatory.client import ObservatoryClient
+from repro.observatory.ingest import ObservatoryIngest
+from repro.observatory.server import ObservatoryServer
+from repro.observatory.store import EventStore
+from repro.observatory.synthetic import (
+    SyntheticScenario,
+    build_synthetic_archive,
+    load_scenario,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "EventStore",
+    "ObservatoryClient",
+    "ObservatoryIngest",
+    "ObservatoryServer",
+    "SyntheticScenario",
+    "build_synthetic_archive",
+    "load_checkpoint",
+    "load_scenario",
+    "save_checkpoint",
+]

@@ -1,0 +1,70 @@
+"""Programmatic client for the observatory HTTP API (stdlib urllib)."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+from urllib.error import HTTPError
+from urllib.parse import quote, urlencode
+from urllib.request import urlopen
+
+__all__ = ["ObservatoryClient", "ObservatoryError"]
+
+
+class ObservatoryError(Exception):
+    """An API-level error response (4xx/5xx with a JSON body)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ObservatoryClient:
+    """Thin JSON client: one method per endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _get(self, path: str, params: Optional[dict[str, Any]] = None,
+             raw: bool = False):
+        query = {k: v for k, v in (params or {}).items() if v is not None}
+        url = self.base_url + path
+        if query:
+            url += "?" + urlencode(query)
+        try:
+            with urlopen(url, timeout=self.timeout) as response:
+                body = response.read().decode("utf-8")
+        except HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ObservatoryError(exc.code, detail) from None
+        return body if raw else json.loads(body)
+
+    def healthz(self) -> dict[str, Any]:
+        return self._get("/healthz")
+
+    def outbreaks(self, prefix: Optional[str] = None,
+                  since: Optional[int] = None,
+                  until: Optional[int] = None) -> dict[str, Any]:
+        return self._get("/outbreaks", {"prefix": prefix, "since": since,
+                                        "until": until})
+
+    def zombies(self) -> dict[str, Any]:
+        return self._get("/zombies")
+
+    def zombie(self, prefix: str) -> dict[str, Any]:
+        return self._get("/zombies/" + quote(str(prefix), safe=""))
+
+    def resurrections(self, prefix: Optional[str] = None,
+                      since: Optional[int] = None,
+                      until: Optional[int] = None) -> dict[str, Any]:
+        return self._get("/resurrections", {"prefix": prefix, "since": since,
+                                            "until": until})
+
+    def metrics(self) -> str:
+        return self._get("/metrics", raw=True)

@@ -1,0 +1,264 @@
+"""JSON HTTP query layer over the event store (stdlib-only).
+
+Endpoints::
+
+    GET /healthz                liveness + store position
+    GET /outbreaks              outbreak events  (?prefix= &since= &until=)
+    GET /zombies                latest lifespan summary per zombie prefix
+    GET /zombies/<prefix>       one prefix: lifespan + outbreaks + resurrections
+    GET /resurrections          update- and dump-scale resurrections, merged
+    GET /metrics                Prometheus text exposition
+
+The server can share an in-process :class:`EventStore` with a running
+ingest, or open a store ``readonly`` and serve while a *separate*
+process appends to it (the store's recovery rules make concurrent reads
+safe).  ``/metrics`` folds in the ingest counters and the archive
+read-path counters (decoded-file cache hits/misses/evictions, index
+skip-scan) when those objects are attached.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+from urllib.parse import parse_qs, unquote, urlparse
+
+from repro.observatory.store import EventStore
+
+__all__ = ["ObservatoryServer"]
+
+
+def _int_param(params: dict, name: str) -> Optional[int]:
+    values = params.get(name)
+    if not values:
+        return None
+    try:
+        return int(values[0])
+    except ValueError:
+        raise _BadRequest(f"parameter {name!r} must be an integer")
+
+
+def _str_param(params: dict, name: str) -> Optional[str]:
+    values = params.get(name)
+    return values[0] if values else None
+
+
+class _BadRequest(Exception):
+    pass
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-observatory"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # keep the test/CI output clean
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        observatory: "ObservatoryServer" = self.server.observatory  # type: ignore[attr-defined]
+        observatory.requests_served += 1
+        url = urlparse(self.path)
+        params = parse_qs(url.query)
+        try:
+            if url.path == "/metrics":
+                self._send_text(200, observatory.render_metrics())
+                return
+            body = observatory.handle(url.path, params)
+            self._send_json(200, body)
+        except _BadRequest as exc:
+            self._send_json(400, {"error": str(exc)})
+        except KeyError:
+            self._send_json(404, {"error": f"no such resource: {url.path}"})
+
+    def _send_json(self, status: int, body: dict[str, Any]) -> None:
+        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_text(self, status: int, text: str) -> None:
+        payload = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+
+class ObservatoryServer:
+    """Serve one event store; optionally fold ingest/archive metrics in.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port` after construction) — the form every test uses.
+    """
+
+    def __init__(self, store: EventStore, host: str = "127.0.0.1",
+                 port: int = 0, ingest=None, archive=None):
+        self.store = store
+        self.ingest = ingest
+        self.archive = archive
+        self.requests_served = 0
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.observatory = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObservatoryServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="observatory-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking serve (the CLI foreground mode)."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    # -- routing ----------------------------------------------------------
+
+    def handle(self, path: str, params: dict) -> dict[str, Any]:
+        if path == "/healthz":
+            return self._healthz()
+        if path == "/outbreaks":
+            return self._outbreaks(params)
+        if path == "/zombies":
+            return self._zombies()
+        if path.startswith("/zombies/"):
+            return self._zombie(unquote(path[len("/zombies/"):]))
+        if path == "/resurrections":
+            return self._resurrections(params)
+        raise KeyError(path)
+
+    def _healthz(self) -> dict[str, Any]:
+        stats = self.store.stats()
+        return {"status": "ok", "events": stats["next_seq"],
+                "segments": stats["segments"],
+                "ingest_finished": (self.ingest.finished
+                                    if self.ingest is not None else None)}
+
+    def _outbreaks(self, params: dict) -> dict[str, Any]:
+        events = list(self.store.events(
+            kinds=("outbreak",),
+            prefix=_str_param(params, "prefix"),
+            since=_int_param(params, "since"),
+            until=_int_param(params, "until")))
+        return {"count": len(events), "outbreaks": events}
+
+    def _latest_lifespans(self, prefix: Optional[str] = None
+                          ) -> dict[str, dict[str, Any]]:
+        latest: dict[str, dict[str, Any]] = {}
+        for event in self.store.events(kinds=("lifespan",), prefix=prefix):
+            latest[event["prefix"]] = event  # seq order: last one wins
+        return latest
+
+    def _zombies(self) -> dict[str, Any]:
+        zombies = [event for _, event in sorted(self._latest_lifespans().items())
+                   if event["segment_count"] > 0]
+        return {"count": len(zombies), "zombies": zombies}
+
+    def _zombie(self, prefix: str) -> dict[str, Any]:
+        lifespan = self._latest_lifespans(prefix).get(prefix)
+        outbreaks = list(self.store.events(kinds=("outbreak",), prefix=prefix))
+        resurrections = list(self.store.events(kinds=("resurrection",),
+                                               prefix=prefix))
+        if lifespan is None and not outbreaks and not resurrections:
+            raise KeyError(prefix)
+        return {"prefix": prefix, "lifespan": lifespan,
+                "outbreaks": outbreaks, "resurrections": resurrections}
+
+    def _resurrections(self, params: dict) -> dict[str, Any]:
+        """Both §5.1 scales, merged: update-stream re-announcements and
+        RIB-dump gap/reappearance events."""
+        prefix = _str_param(params, "prefix")
+        since = _int_param(params, "since")
+        until = _int_param(params, "until")
+        merged = []
+        for event in self.store.events(kinds=("resurrection",), prefix=prefix,
+                                       since=since, until=until):
+            merged.append({**event, "scale": "updates"})
+        for event in self.store.events(kinds=("lifespan",), prefix=prefix,
+                                       since=since, until=until):
+            if event["resurrection"]:
+                merged.append({**event, "scale": "rib"})
+        merged.sort(key=lambda e: (e["time"], e["seq"]))
+        return {"count": len(merged), "resurrections": merged}
+
+    # -- metrics ----------------------------------------------------------
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition of every counter we hold."""
+        lines: list[str] = []
+
+        def gauge(name: str, value, help_text: str, labels: str = "") -> None:
+            if value is None:
+                return
+            if not any(line.startswith(f"# HELP {name} ") for line in lines):
+                lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{labels} {value}")
+
+        store = self.store.stats()
+        gauge("observatory_events_total", store["next_seq"],
+              "Events appended to the store over its lifetime.")
+        gauge("observatory_store_segments", store["segments"],
+              "Segment files in the event store.")
+        for kind, count in sorted(store["by_kind"].items()):
+            gauge("observatory_events", count,
+                  "Events currently in the store by kind.",
+                  labels=f'{{kind="{kind}"}}')
+        gauge("observatory_http_requests_total", self.requests_served,
+              "HTTP requests served.")
+        if self.ingest is not None:
+            ingest = self.ingest.stats()
+            gauge("observatory_ingest_records_total",
+                  ingest["records_ingested"],
+                  "Update records consumed from the archive.")
+            gauge("observatory_ingest_dumps_total", ingest["dumps_ingested"],
+                  "RIB dumps consumed from the archive.")
+            gauge("observatory_ingest_checkpoints_total",
+                  ingest["checkpoints_written"], "Checkpoints persisted.")
+            gauge("observatory_ingest_pending_evaluations",
+                  ingest["pending_evaluations"],
+                  "Beacon intervals awaiting their evaluation deadline.")
+        if self.archive is not None:
+            stats = self.archive.stats()
+            cache = stats["cache"]
+            if cache is not None:
+                gauge("observatory_archive_cache_hits_total", cache["hits"],
+                      "Decoded-file cache hits.")
+                gauge("observatory_archive_cache_misses_total",
+                      cache["misses"], "Decoded-file cache misses.")
+                gauge("observatory_archive_cache_evictions_total",
+                      cache["evictions"], "Decoded-file cache evictions.")
+                gauge("observatory_archive_cache_entries", cache["entries"],
+                      "Decoded files currently cached.")
+            scan = stats["scan"]
+            gauge("observatory_archive_files_considered_total",
+                  scan["files_considered"],
+                  "Archive files considered by scan planning.")
+            gauge("observatory_archive_files_skipped_total",
+                  scan["files_skipped"],
+                  "Archive files skipped via the sidecar index.")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,432 @@
+"""Append-only event store: the observatory's durable output.
+
+Layout (one directory per store)::
+
+    <root>/manifest.json        atomic (write-temp + rename) manifest
+    <root>/seg-00000000.jsonl   segment files, named by first seq
+
+Events are JSON lines with a monotonically increasing ``seq``; each
+append is flushed so a crash loses at most a partially written trailing
+line, which recovery (and every reader) tolerates by ignoring it.  The
+manifest carries a per-segment index — time range, event kinds, and
+(capped) prefix/peer sets — so queries skip whole segments without
+opening them.  Sealed segments are immutable; the active (last) segment
+is always re-scanned on open, which is what makes the store readable by
+a concurrent process while an ingest appends to it.
+
+:meth:`EventStore.truncate` drops every event with ``seq >=`` a bound —
+the recovery primitive behind the checkpointed ingest: roll the store
+back to the checkpoint's event count, then re-emission is deterministic.
+:meth:`EventStore.compact` folds superseded ``lifespan`` events (each is
+a cumulative per-prefix summary, so only the latest per prefix matters)
+while preserving the surviving events' bytes and seqs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Optional, Sequence, Union
+
+__all__ = ["EventStore", "MANIFEST_VERSION"]
+
+MANIFEST_VERSION = 1
+
+#: Above this many distinct values, a segment's prefix/peer index is
+#: dropped (``None`` = "may contain anything") to bound manifest size.
+INDEX_VALUE_CAP = 64
+
+#: Default number of events per segment file.
+DEFAULT_SEGMENT_RECORDS = 1024
+
+
+@dataclass
+class _Segment:
+    """In-memory form of one manifest segment entry."""
+
+    name: str
+    first_seq: int
+    count: int = 0
+    min_time: Optional[int] = None
+    max_time: Optional[int] = None
+    kinds: set[str] = field(default_factory=set)
+    prefixes: Optional[set[str]] = field(default_factory=set)
+    peers: Optional[set[str]] = field(default_factory=set)
+    sealed: bool = False
+
+    def note(self, event: dict[str, Any]) -> None:
+        """Fold one event into the index."""
+        self.count += 1
+        time = event.get("time")
+        if time is not None:
+            self.min_time = time if self.min_time is None else min(self.min_time, time)
+            self.max_time = time if self.max_time is None else max(self.max_time, time)
+        self.kinds.add(event["kind"])
+        if self.prefixes is not None and "prefix" in event:
+            self.prefixes.add(event["prefix"])
+            if len(self.prefixes) > INDEX_VALUE_CAP:
+                self.prefixes = None
+        if self.peers is not None:
+            peer = event.get("peer_address")
+            if peer is not None:
+                self.peers.add(peer)
+                if len(self.peers) > INDEX_VALUE_CAP:
+                    self.peers = None
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "first_seq": self.first_seq,
+            "count": self.count,
+            "min_time": self.min_time,
+            "max_time": self.max_time,
+            "kinds": sorted(self.kinds),
+            "prefixes": sorted(self.prefixes) if self.prefixes is not None else None,
+            "peers": sorted(self.peers) if self.peers is not None else None,
+            "sealed": self.sealed,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "_Segment":
+        return cls(
+            name=payload["name"],
+            first_seq=payload["first_seq"],
+            count=payload["count"],
+            min_time=payload["min_time"],
+            max_time=payload["max_time"],
+            kinds=set(payload["kinds"]),
+            prefixes=(set(payload["prefixes"])
+                      if payload["prefixes"] is not None else None),
+            peers=set(payload["peers"]) if payload["peers"] is not None else None,
+            sealed=payload["sealed"],
+        )
+
+    def may_match(self, kinds: Optional[frozenset],
+                  prefix: Optional[str],
+                  since: Optional[int], until: Optional[int]) -> bool:
+        """Index skip test (only trustworthy for sealed segments)."""
+        if self.count == 0:
+            return False
+        if kinds is not None and not (self.kinds & kinds):
+            return False
+        if prefix is not None and self.prefixes is not None \
+                and prefix not in self.prefixes:
+            return False
+        if since is not None and self.max_time is not None \
+                and self.max_time < since:
+            return False
+        if until is not None and self.min_time is not None \
+                and self.min_time >= until:
+            return False
+        return True
+
+
+def _segment_name(first_seq: int) -> str:
+    return f"seg-{first_seq:08d}.jsonl"
+
+
+def _complete_lines(data: bytes) -> tuple[list[bytes], int]:
+    """Split raw segment bytes into complete lines; returns the lines
+    and the byte length of the complete region (a partially written
+    trailing line — crash artefact or concurrent append — is dropped)."""
+    end = data.rfind(b"\n") + 1
+    lines = data[:end].split(b"\n")[:-1] if end else []
+    return lines, end
+
+
+class EventStore:
+    """Segmented JSON-lines event store (see module docstring).
+
+    ``readonly=True`` opens the store for querying while another process
+    appends: every query re-reads the manifest and re-scans unsealed
+    segments, so newly appended events become visible without any
+    coordination.
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 segment_max_records: int = DEFAULT_SEGMENT_RECORDS,
+                 readonly: bool = False):
+        if segment_max_records <= 0:
+            raise ValueError("segment_max_records must be positive")
+        self.root = Path(root)
+        self.segment_max_records = segment_max_records
+        self.readonly = readonly
+        self._segments: list[_Segment] = []
+        self._next_seq = 0
+        self._handle = None
+        if readonly:
+            if not (self.root / "manifest.json").exists():
+                raise FileNotFoundError(
+                    f"not an event store (no manifest): {self.root}")
+            self._load_manifest()
+        else:
+            self.root.mkdir(parents=True, exist_ok=True)
+            if (self.root / "manifest.json").exists():
+                self._load_manifest()
+                self._recover_active()
+            else:
+                self._sync_manifest()
+
+    # -- manifest ---------------------------------------------------------
+
+    def _load_manifest(self) -> None:
+        with open(self.root / "manifest.json", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported event store manifest version: "
+                f"{payload.get('version')!r}")
+        self._segments = [_Segment.from_json(s) for s in payload["segments"]]
+        self._next_seq = payload["next_seq"]
+
+    def _sync_manifest(self) -> None:
+        payload = {
+            "version": MANIFEST_VERSION,
+            "next_seq": self._next_seq,
+            "segments": [segment.to_json() for segment in self._segments],
+        }
+        tmp = self.root / "manifest.json.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.root / "manifest.json")
+
+    def _recover_active(self) -> None:
+        """Rebuild the active segment's index by scanning its file,
+        dropping any partially written trailing line."""
+        if not self._segments:
+            return
+        active = self._segments[-1]
+        path = self.root / active.name
+        data = path.read_bytes() if path.exists() else b""
+        lines, complete = _complete_lines(data)
+        if complete < len(data):
+            with open(path, "r+b") as handle:
+                handle.truncate(complete)
+        rebuilt = _Segment(name=active.name, first_seq=active.first_seq)
+        last_seq = active.first_seq - 1
+        for line in lines:
+            event = json.loads(line)
+            rebuilt.note(event)
+            last_seq = event["seq"]
+        rebuilt.sealed = active.sealed
+        self._segments[-1] = rebuilt
+        self._next_seq = last_seq + 1
+
+    # -- append path ------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        """The seq the next appended event will get (== events appended
+        over the store's lifetime, net of truncation)."""
+        return self._next_seq
+
+    def _open_segment(self) -> None:
+        segment = _Segment(name=_segment_name(self._next_seq),
+                           first_seq=self._next_seq)
+        self._segments.append(segment)
+        self._sync_manifest()
+        self._handle = open(self.root / segment.name, "ab")
+
+    def append(self, kind: str, time: int, payload: dict[str, Any]) -> int:
+        """Append one event; returns its seq.  Flushed immediately."""
+        if self.readonly:
+            raise RuntimeError("store opened readonly")
+        event = {"seq": self._next_seq, "time": time, "kind": kind}
+        for key, value in payload.items():
+            if key not in event:
+                event[key] = value
+        active = self._segments[-1] if self._segments else None
+        if active is None or active.sealed \
+                or active.count >= self.segment_max_records:
+            if active is not None and not active.sealed:
+                active.sealed = True
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            self._open_segment()
+            active = self._segments[-1]
+        elif self._handle is None:
+            self._handle = open(self.root / active.name, "ab")
+        line = json.dumps(event, sort_keys=True) + "\n"
+        self._handle.write(line.encode("utf-8"))
+        self._handle.flush()
+        active.note(event)
+        self._next_seq += 1
+        return event["seq"]
+
+    def sync(self) -> None:
+        """Flush the active segment and persist the manifest."""
+        if self._handle is not None:
+            self._handle.flush()
+        if not self.readonly:
+            self._sync_manifest()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+        if not self.readonly:
+            self._sync_manifest()
+
+    # -- read path --------------------------------------------------------
+
+    def _read_segment(self, segment: _Segment) -> list[dict[str, Any]]:
+        path = self.root / segment.name
+        if not path.exists():
+            return []
+        lines, _ = _complete_lines(path.read_bytes())
+        return [json.loads(line) for line in lines]
+
+    def events(self, kinds: Optional[Sequence[str]] = None,
+               prefix: Optional[str] = None,
+               since: Optional[int] = None,
+               until: Optional[int] = None) -> Iterator[dict[str, Any]]:
+        """Iterate matching events in seq order.
+
+        ``kinds`` filters on the event kind, ``prefix`` on the exact
+        prefix string, ``since``/``until`` on the half-open event time
+        window ``[since, until)``.  Sealed segments are skipped through
+        the manifest index without being opened.
+        """
+        if self.readonly:
+            # Pick up whatever a concurrent writer has published.
+            self._load_manifest()
+        kind_set = frozenset(kinds) if kinds is not None else None
+        for segment in self._segments:
+            if segment.sealed and not segment.may_match(
+                    kind_set, prefix, since, until):
+                continue
+            for event in self._read_segment(segment):
+                if kind_set is not None and event["kind"] not in kind_set:
+                    continue
+                if prefix is not None and event.get("prefix") != prefix:
+                    continue
+                time = event.get("time")
+                if since is not None and (time is None or time < since):
+                    continue
+                if until is not None and (time is None or time >= until):
+                    continue
+                yield event
+
+    def raw_bytes(self) -> bytes:
+        """All segment bytes, concatenated in seq order (for the
+        determinism tests: two stores with equal histories are
+        byte-identical)."""
+        return b"".join((self.root / segment.name).read_bytes()
+                        for segment in self._segments
+                        if (self.root / segment.name).exists())
+
+    # -- maintenance ------------------------------------------------------
+
+    def truncate(self, next_seq: int) -> int:
+        """Drop every event with ``seq >= next_seq``; returns how many
+        were dropped.  This is the checkpoint-recovery primitive."""
+        if self.readonly:
+            raise RuntimeError("store opened readonly")
+        if next_seq > self._next_seq:
+            raise ValueError(
+                f"cannot truncate forward: store has {self._next_seq} "
+                f"events, asked for {next_seq}")
+        dropped = self._next_seq - next_seq
+        if dropped == 0:
+            return 0
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        kept: list[_Segment] = []
+        for segment in self._segments:
+            path = self.root / segment.name
+            if segment.first_seq >= next_seq:
+                if path.exists():
+                    path.unlink()
+                continue
+            if segment.first_seq + segment.count <= next_seq:
+                kept.append(segment)
+                continue
+            # Segment straddles the bound: rewrite its prefix.
+            events = [e for e in self._read_segment(segment)
+                      if e["seq"] < next_seq]
+            rebuilt = _Segment(name=segment.name, first_seq=segment.first_seq)
+            tmp = path.with_suffix(".tmp")
+            with open(tmp, "wb") as handle:
+                for event in events:
+                    handle.write((json.dumps(event, sort_keys=True)
+                                  + "\n").encode("utf-8"))
+                    rebuilt.note(event)
+            os.replace(tmp, path)
+            kept.append(rebuilt)
+        if kept:
+            kept[-1].sealed = False  # tail segment takes appends again
+        self._segments = kept
+        self._next_seq = next_seq
+        self._sync_manifest()
+        return dropped
+
+    def compact(self) -> dict[str, int]:
+        """Fold superseded ``lifespan`` events.  Each lifespan event
+        carries the full cumulative per-prefix summary, so intermediate
+        ones add nothing — except segment-boundary markers
+        (``started_segment`` / ``resurrection``), which are the §5.1
+        dump-scale resurrection history and are preserved.  Every other
+        kind survives unchanged (same bytes, same seqs).  Returns
+        ``{"kept": n, "dropped": m}``."""
+        if self.readonly:
+            raise RuntimeError("store opened readonly")
+        latest: dict[str, int] = {}
+        for event in self.events(kinds=("lifespan",)):
+            latest[event["prefix"]] = event["seq"]
+        survivors: list[dict[str, Any]] = []
+        dropped = 0
+        for segment in self._segments:
+            for event in self._read_segment(segment):
+                if (event["kind"] == "lifespan"
+                        and latest.get(event["prefix"]) != event["seq"]
+                        and not event.get("started_segment")
+                        and not event.get("resurrection")):
+                    dropped += 1
+                    continue
+                survivors.append(event)
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        for segment in self._segments:
+            path = self.root / segment.name
+            if path.exists():
+                path.unlink()
+        self._segments = []
+        for offset in range(0, len(survivors), self.segment_max_records):
+            chunk = survivors[offset:offset + self.segment_max_records]
+            segment = _Segment(name=_segment_name(chunk[0]["seq"]),
+                               first_seq=chunk[0]["seq"])
+            with open(self.root / segment.name, "wb") as handle:
+                for event in chunk:
+                    handle.write((json.dumps(event, sort_keys=True)
+                                  + "\n").encode("utf-8"))
+                    segment.note(event)
+            segment.sealed = True
+            self._segments.append(segment)
+        if self._segments:
+            self._segments[-1].sealed = False
+        self._sync_manifest()
+        return {"kept": len(survivors), "dropped": dropped}
+
+    def stats(self) -> dict[str, Any]:
+        """Store-level counters for ``/metrics`` and dashboards."""
+        by_kind: dict[str, int] = {}
+        events = 0
+        for segment in self._segments:
+            events += segment.count
+        for event in self.events():
+            by_kind[event["kind"]] = by_kind.get(event["kind"], 0) + 1
+        return {
+            "root": str(self.root),
+            "segments": len(self._segments),
+            "events": events,
+            "next_seq": self._next_seq,
+            "by_kind": by_kind,
+        }

@@ -6,6 +6,7 @@ from repro.realtime.sinks import (
     CallbackSink,
     CountingSink,
     JsonLinesSink,
+    serialise_alert,
 )
 from repro.realtime.streaming import (
     ResurrectionAlert,
@@ -24,4 +25,5 @@ __all__ = [
     "ResurrectionMonitor",
     "StreamingDetector",
     "ZombieAlert",
+    "serialise_alert",
 ]

@@ -15,7 +15,7 @@ from typing import Callable, IO, Optional, Union
 from repro.realtime.streaming import ResurrectionAlert, ZombieAlert
 
 __all__ = ["AlertSink", "CallbackSink", "CountingSink", "JsonLinesSink",
-           "AlertDispatcher"]
+           "AlertDispatcher", "serialise_alert"]
 
 Alert = Union[ZombieAlert, ResurrectionAlert]
 
@@ -69,13 +69,19 @@ class JsonLinesSink(AlertSink):
 
     def emit(self, alert: Alert) -> None:
         payload = {"kind": type(alert).__name__}
-        payload.update(_serialise(alert))
+        payload.update(serialise_alert(alert))
         self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
 
     def close(self) -> None:
         self._handle.flush()
         if self._owned:
             self._handle.close()
+
+
+def serialise_alert(alert: Alert) -> dict:
+    """Flat JSON-safe dict for one alert (shared by every persistent
+    sink, including the observatory event store)."""
+    return _serialise(alert)
 
 
 def _serialise(alert: Alert) -> dict:

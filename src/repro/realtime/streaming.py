@@ -21,11 +21,12 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Optional
+from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.beacons.aggregator import AggregatorClock
 from repro.beacons.schedule import BeaconInterval
 from repro.bgp.attributes import ASPath
+from repro.bgp.jsonio import record_from_json, record_to_json
 from repro.bgp.messages import Record, StateRecord, UpdateRecord
 from repro.core.state import PeerKey
 from repro.net.prefix import Prefix
@@ -33,6 +34,25 @@ from repro.utils.timeutil import MINUTE
 
 __all__ = ["ZombieAlert", "ResurrectionAlert", "StreamingDetector",
            "ResurrectionMonitor"]
+
+#: Snapshot document version shared by both streaming components.
+SNAPSHOT_VERSION = 1
+
+
+def _interval_to_json(interval: BeaconInterval) -> dict[str, Any]:
+    return {"prefix": str(interval.prefix),
+            "announce_time": interval.announce_time,
+            "withdraw_time": interval.withdraw_time,
+            "origin_asn": interval.origin_asn,
+            "discarded": interval.discarded}
+
+
+def _interval_from_json(payload: dict[str, Any]) -> BeaconInterval:
+    return BeaconInterval(prefix=Prefix(payload["prefix"]),
+                          announce_time=payload["announce_time"],
+                          withdraw_time=payload["withdraw_time"],
+                          origin_asn=payload["origin_asn"],
+                          discarded=payload["discarded"])
 
 
 @dataclass(frozen=True)
@@ -181,6 +201,75 @@ class StreamingDetector:
         horizon = max(eval_time for eval_time, _, _ in self._pending)
         return self.advance(horizon)
 
+    # -- persistence -----------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-safe document capturing the complete detector state:
+        pending evaluations, per-(prefix, peer) live state including the
+        supporting announcements, clocks and counters.  Restoring it with
+        :meth:`from_snapshot` and continuing the stream produces exactly
+        the alerts an uninterrupted detector would have produced."""
+        state = []
+        for prefix in sorted(self._state, key=str):
+            for key in sorted(self._state[prefix]):
+                s = self._state[prefix][key]
+                state.append({
+                    "prefix": str(prefix),
+                    "collector": key[0],
+                    "peer_address": key[1],
+                    "present": s.present,
+                    "seen_since": s.seen_since,
+                    "last_announcement": (record_to_json(s.last_announcement)
+                                          if s.last_announcement is not None
+                                          else None),
+                })
+        return {
+            "version": SNAPSHOT_VERSION,
+            "threshold": self.threshold,
+            "dedup": self.dedup,
+            "excluded_peers": sorted([c, a] for c, a in self.excluded_peers),
+            "pending": [[eval_time, seq, _interval_to_json(interval)]
+                        for eval_time, seq, interval in sorted(self._pending)],
+            "seq": self._seq,
+            "clock": self._clock,
+            "alert_count": self._alert_count,
+            "peer_asns": [[c, a, asn]
+                          for (c, a), asn in sorted(self._peer_asn.items())],
+            "tracked": sorted(str(p) for p in self._tracked),
+            "state": state,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict[str, Any]) -> "StreamingDetector":
+        """Rebuild a detector from a :meth:`snapshot` document."""
+        if snapshot.get("version") != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported StreamingDetector snapshot version: "
+                f"{snapshot.get('version')!r}")
+        detector = cls(
+            threshold=snapshot["threshold"], dedup=snapshot["dedup"],
+            excluded_peers=frozenset((c, a)
+                                     for c, a in snapshot["excluded_peers"]))
+        detector._pending = [(eval_time, seq, _interval_from_json(payload))
+                             for eval_time, seq, payload in snapshot["pending"]]
+        heapq.heapify(detector._pending)
+        detector._seq = snapshot["seq"]
+        detector._clock = snapshot["clock"]
+        detector._alert_count = snapshot["alert_count"]
+        detector._peer_asn = {(c, a): asn
+                              for c, a, asn in snapshot["peer_asns"]}
+        detector._tracked = {Prefix(text) for text in snapshot["tracked"]}
+        for entry in snapshot["state"]:
+            states = detector._state.setdefault(Prefix(entry["prefix"]), {})
+            states[(entry["collector"], entry["peer_address"])] = \
+                _PeerPrefixState(
+                    present=entry["present"],
+                    last_announcement=(
+                        record_from_json(entry["last_announcement"])
+                        if entry["last_announcement"] is not None else None),
+                    seen_since=entry["seen_since"])
+        return detector
+
     # -- evaluation -----------------------------------------------------------
 
     def _evaluate(self, interval: BeaconInterval) -> Iterator[ZombieAlert]:
@@ -276,3 +365,39 @@ class ResurrectionMonitor:
             prefix=record.prefix, peer=key, peer_asn=record.peer_asn,
             withdrawn_at=withdrawn_at, resurrected_at=record.timestamp,
             path=(record.attributes.as_path if record.attributes else None))
+
+    # -- persistence -----------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe document capturing tracked prefixes, open withdrawal
+        windows and the beacon schedule filter."""
+        return {
+            "version": SNAPSHOT_VERSION,
+            "quiet": self.quiet,
+            "schedule_tolerance": self.schedule_tolerance,
+            "tracked": sorted(str(p) for p in self._tracked),
+            "withdrawn_at": [[c, a, str(prefix), time]
+                             for ((c, a), prefix), time
+                             in sorted(self._withdrawn_at.items(),
+                                       key=lambda kv: (kv[0][0],
+                                                       str(kv[0][1])))],
+            "scheduled": {str(prefix): times
+                          for prefix, times in sorted(self._scheduled.items(),
+                                                      key=lambda kv: str(kv[0]))},
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict[str, Any]) -> "ResurrectionMonitor":
+        if snapshot.get("version") != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported ResurrectionMonitor snapshot version: "
+                f"{snapshot.get('version')!r}")
+        monitor = cls((), quiet=snapshot["quiet"],
+                      schedule_tolerance=snapshot["schedule_tolerance"])
+        monitor._tracked = {Prefix(text) for text in snapshot["tracked"]}
+        monitor._withdrawn_at = {
+            ((c, a), Prefix(text)): time
+            for c, a, text, time in snapshot["withdrawn_at"]}
+        monitor._scheduled = {Prefix(text): list(times)
+                              for text, times in snapshot["scheduled"].items()}
+        return monitor

@@ -155,6 +155,8 @@ class Archive:
         self.workers = max(1, int(workers))
         self.cache = DecodedFileCache(cache_size) if cache_size > 0 else None
         self.on_foreign_file = on_foreign_file or _warn_foreign_file
+        self.files_considered = 0
+        self.files_skipped = 0
 
     def collectors(self) -> list[str]:
         """Collector directories present in the archive."""
@@ -222,10 +224,28 @@ class Archive:
             if (record_filter is not None and record_filter.collectors
                     and collector not in record_filter.collectors):
                 continue
-            paths = [path for path in self.update_files(collector, start, end)
-                     if self._file_may_match(path, start, end, record_filter)]
+            paths = []
+            for path in self.update_files(collector, start, end):
+                self.files_considered += 1
+                if self._file_may_match(path, start, end, record_filter):
+                    paths.append(path)
+                else:
+                    self.files_skipped += 1
             plan.append((collector, paths))
         return plan
+
+    def stats(self) -> dict:
+        """Read-path counters (cache + index skip-scan) for ``/metrics``."""
+        return {
+            "root": str(self.root),
+            "workers": self.workers,
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "scan": {
+                "files_considered": self.files_considered,
+                "files_skipped": self.files_skipped,
+                "files_decoded": self.files_considered - self.files_skipped,
+            },
+        }
 
     def _decoded(self, path: Path, collector: str,
                  record_filter: Optional[RecordFilter]) -> Iterable[Record]:

@@ -34,6 +34,7 @@ class DecodedFileCache:
         self._entries: "OrderedDict[str, tuple]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -70,8 +71,22 @@ class DecodedFileCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_files:
             self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        """Counters for dashboards and the observatory ``/metrics``."""
+        lookups = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "max_files": self.max_files,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }
 
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0

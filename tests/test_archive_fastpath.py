@@ -344,3 +344,53 @@ class TestPrematchWalker:
                 walked.update(iter_update_prefixes(header, body))
             # The walker is a (cheap) superset of the decoded prefixes.
             assert decoded_prefixes <= walked
+
+
+class TestArchiveStats:
+    def test_cache_stats_track_hits_misses_evictions(self, tmp_path):
+        writer = ArchiveWriter(tmp_path)
+        for offset in range(3):
+            writer.write_updates("rrc00", [
+                UpdateRecord(BASE + offset * 3600, "rrc00", "::1", 1,
+                             Withdrawal(Prefix("2001:db8::/32")))])
+        archive = Archive(tmp_path, cache_size=2)
+        list(archive.iter_updates(BASE, BASE + 3 * 3600))
+        stats = archive.cache.stats()
+        assert stats["misses"] == 3
+        assert stats["hits"] == 0
+        assert stats["evictions"] == 1  # 3 files through a 2-slot cache
+        assert stats["entries"] == 2
+        assert stats["max_files"] == 2
+        assert stats["hit_rate"] == 0.0
+        # Rescan only the two most-recent files: both are still cached.
+        list(archive.iter_updates(BASE + 3600, BASE + 3 * 3600))
+        stats = archive.cache.stats()
+        assert stats["hits"] == 2
+        assert 0.0 < stats["hit_rate"] < 1.0
+
+    def test_clear_resets_counters(self, tmp_path):
+        writer = ArchiveWriter(tmp_path)
+        writer.write_updates("rrc00", [
+            UpdateRecord(BASE, "rrc00", "::1", 1,
+                         Withdrawal(Prefix("2001:db8::/32")))])
+        archive = Archive(tmp_path, cache_size=4)
+        list(archive.iter_updates(BASE, BASE + 300))
+        archive.cache.clear()
+        stats = archive.cache.stats()
+        assert stats == {"entries": 0, "max_files": 4, "hits": 0,
+                         "misses": 0, "evictions": 0, "hit_rate": 0.0}
+
+    def test_archive_stats_shape_and_scan_counters(self, populated_root):
+        archive = Archive(populated_root, cache_size=16)
+        list(archive.iter_updates(
+            *WINDOW, record_filter=compile_filter("ipversion 6")))
+        stats = archive.stats()
+        assert stats["root"] == str(populated_root)
+        assert stats["scan"]["files_considered"] > 0
+        assert stats["scan"]["files_considered"] == (
+            stats["scan"]["files_skipped"] + stats["scan"]["files_decoded"])
+        assert stats["cache"]["misses"] >= stats["scan"]["files_decoded"] > 0
+
+    def test_archive_stats_without_cache(self, tmp_path):
+        archive = Archive(tmp_path, cache_size=0)
+        assert archive.stats()["cache"] is None

@@ -91,3 +91,29 @@ class TestReplicationCommand:
         out = capsys.readouterr().out
         assert "Table 1" in out
         assert "2017-mar" in out
+
+
+class TestErgonomics:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_bad_time_exits_2_with_one_liner(self, tmp_path, capsys):
+        code = main(["detect", str(tmp_path),
+                     "--from-time", "not-a-time",
+                     "--until-time", "2024-06-05"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+        assert err.startswith("repro detect:")
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        code = main(["observatory", "serve", str(tmp_path / "nope")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "Traceback" not in err

@@ -1,0 +1,205 @@
+"""Tests for the observatory HTTP API, the programmatic client, and the
+``observatory`` CLI subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.observatory import (
+    EventStore,
+    ObservatoryClient,
+    ObservatoryIngest,
+    ObservatoryServer,
+    build_synthetic_archive,
+    load_scenario,
+)
+from repro.observatory.client import ObservatoryError
+from repro.ris import Archive
+
+
+@pytest.fixture(scope="module")
+def world(tmp_path_factory):
+    """A fully ingested synthetic observatory: archive, store, ingest."""
+    root = tmp_path_factory.mktemp("obs-world")
+    built = build_synthetic_archive(root / "archive")
+    config = load_scenario(built.scenario_path)
+    archive = Archive(built.root)
+    store = EventStore(root / "store")
+    ingest = ObservatoryIngest(
+        archive, store, root / "ckpt.json", config["intervals"],
+        config["start"], config["end"])
+    ingest.run()
+    ingest.finish()
+    return built, config, archive, store, ingest
+
+
+@pytest.fixture()
+def server(world):
+    built, config, archive, store, ingest = world
+    server = ObservatoryServer(store, ingest=ingest, archive=archive).start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture()
+def client(server):
+    return ObservatoryClient(server.url)
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        body = client.healthz()
+        assert body["status"] == "ok"
+        assert body["events"] > 0
+        assert body["ingest_finished"] is True
+
+    def test_outbreaks(self, world, client):
+        built = world[0]
+        body = client.outbreaks()
+        assert body["count"] == 2
+        prefixes = {o["prefix"] for o in body["outbreaks"]}
+        assert built.scripted["stuck"] in prefixes
+        assert built.scripted["resurrection_rib"] in prefixes
+
+    def test_outbreaks_prefix_and_window_filters(self, world, client):
+        built = world[0]
+        body = client.outbreaks(prefix=built.scripted["stuck"])
+        assert body["count"] == 1
+        detected = body["outbreaks"][0]["detected_at"]
+        assert client.outbreaks(since=detected + 1)["count"] == 1
+        assert client.outbreaks(until=detected)["count"] == 0
+
+    def test_zombies_listing(self, world, client):
+        built = world[0]
+        zombies = client.zombies()["zombies"]
+        assert [z["prefix"] for z in zombies] == sorted([
+            built.scripted["stuck"], built.scripted["resurrection_rib"]])
+        assert all(z["segment_count"] > 0 for z in zombies)
+
+    def test_zombie_detail(self, world, client):
+        built = world[0]
+        body = client.zombie(built.scripted["stuck"])
+        assert body["lifespan"]["duration_seconds"] > 0
+        assert len(body["outbreaks"]) == 1
+        # The latest lifespan record supersedes the earlier ones.
+        assert body["lifespan"]["visible"] is False
+
+    def test_zombie_unknown_prefix_is_404(self, client):
+        with pytest.raises(ObservatoryError) as excinfo:
+            client.zombie("192.0.2.0/24")
+        assert excinfo.value.status == 404
+
+    def test_resurrections_both_scales(self, world, client):
+        built = world[0]
+        body = client.resurrections()
+        scales = {(e["prefix"], e["scale"]) for e in body["resurrections"]}
+        assert (built.scripted["resurrection_updates"], "updates") in scales
+        assert (built.scripted["resurrection_rib"], "rib") in scales
+
+    def test_bad_parameter_is_400(self, server):
+        import urllib.error
+        import urllib.request
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server.url + "/outbreaks?since=yesterday")
+        assert excinfo.value.code == 400
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ObservatoryError) as excinfo:
+            client._get("/nope")
+        assert excinfo.value.status == 404
+
+
+class TestMetrics:
+    def test_prometheus_exposition(self, client):
+        text = client.metrics()
+        lines = text.splitlines()
+        assert any(line.startswith("observatory_events_total ")
+                   for line in lines)
+        assert 'observatory_events{kind="outbreak"} 2' in lines
+        assert any(line.startswith("observatory_ingest_records_total ")
+                   for line in lines)
+        assert any(line.startswith("observatory_archive_cache_misses_total ")
+                   for line in lines)
+        assert any(line.startswith("observatory_archive_files_considered_total ")
+                   for line in lines)
+        for line in lines:
+            assert line.startswith("#") or " " in line
+
+    def test_request_counter_moves(self, client):
+        def value():
+            for line in client.metrics().splitlines():
+                if line.startswith("observatory_http_requests_total "):
+                    return int(line.split()[-1])
+        first = value()
+        assert value() == first + 1
+
+
+class TestLiveIngest:
+    def test_queries_during_ingest(self, tmp_path):
+        """The server answers while the store is still being appended to
+        (same process), and results grow as ingest progresses."""
+        built = build_synthetic_archive(tmp_path / "archive")
+        config = load_scenario(built.scenario_path)
+        store = EventStore(tmp_path / "store")
+        ingest = ObservatoryIngest(
+            Archive(built.root), store, tmp_path / "ckpt.json",
+            config["intervals"], config["start"], config["end"])
+        server = ObservatoryServer(store, ingest=ingest).start()
+        try:
+            client = ObservatoryClient(server.url)
+            assert client.healthz()["events"] == 0
+            ingest.run(max_records=90)
+            mid = client.healthz()["events"]
+            ingest.run()
+            ingest.finish()
+            assert client.healthz()["events"] > mid > 0
+            assert client.outbreaks()["count"] == 2
+        finally:
+            server.stop()
+
+    def test_readonly_store_serves_other_writer(self, tmp_path):
+        """Cross-process shape: the server reads a store directory that a
+        different EventStore instance is appending to."""
+        writer = EventStore(tmp_path / "store")
+        writer.append("outbreak", 10, {"prefix": "2a0d::/48"})
+        writer.sync()
+        reader = EventStore(tmp_path / "store", readonly=True)
+        server = ObservatoryServer(reader).start()
+        try:
+            client = ObservatoryClient(server.url)
+            assert client.outbreaks()["count"] == 1
+            writer.append("outbreak", 20, {"prefix": "2a0d::/48"})
+            writer.sync()
+            assert client.outbreaks()["count"] == 2
+        finally:
+            server.stop()
+
+
+class TestObservatoryCli:
+    def test_synth_ingest_query_compact(self, tmp_path, capsys):
+        archive = str(tmp_path / "archive")
+        store = str(tmp_path / "store")
+        assert main(["observatory", "synth", archive]) == 0
+        assert main(["observatory", "ingest", archive, store,
+                     "--max-records", "40"]) == 0
+        assert main(["observatory", "ingest", archive, store]) == 0
+        capsys.readouterr()
+        assert main(["observatory", "query", store, "outbreaks"]) == 0
+        rows = [json.loads(line)
+                for line in capsys.readouterr().out.splitlines()]
+        assert len(rows) == 2 and all(r["kind"] == "outbreak" for r in rows)
+        assert main(["observatory", "query", store, "zombies"]) == 0
+        zombies = [json.loads(line)
+                   for line in capsys.readouterr().out.splitlines()]
+        assert all(z["segment_count"] > 0 for z in zombies)
+        assert main(["observatory", "compact", store]) == 0
+        assert "compacted" in capsys.readouterr().out
+
+    def test_missing_archive_exits_2(self, tmp_path, capsys):
+        code = main(["observatory", "ingest", str(tmp_path / "absent"),
+                     str(tmp_path / "store")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "scenario" in err and "Traceback" not in err
