@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Measure archive-mirror sync throughput and emit ``BENCH_mirror.json``.
+
+Builds the deterministic synthetic observatory scenario, serves it with
+:class:`repro.transport.ArchiveServer`, and times:
+
+* ``cold_sync``   — empty destination → full mirror, bytes/s and files/s
+* ``warm_sync``   — immediate re-sync: manifest fetch + skip everything
+* ``resume``      — a transfer is cut mid-file (fault proxy truncates,
+  zero retry budget), then a healthy re-sync continues the partial via
+  ``Range`` and finishes the month
+* ``faulty_sync`` — cold sync through the fault proxy at 10% combined
+  fault rates; overhead vs the clean cold sync is the fault-path cost
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_mirror.py [--days 6]
+        [--rounds 3] [--workers 4] [--out BENCH_mirror.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.observatory import build_synthetic_archive  # noqa: E402
+from repro.transport import (  # noqa: E402
+    ArchiveMirror,
+    ArchiveServer,
+    FaultPlan,
+    FaultyProxy,
+)
+
+NO_SLEEP = None  # real time.sleep: the bench measures wall-clock cost
+
+
+def make_mirror(url, dest, workers, **kwargs):
+    kwargs.setdefault("retries", 8)
+    kwargs.setdefault("backoff", 0.005)
+    kwargs.setdefault("backoff_cap", 0.05)
+    return ArchiveMirror(url, dest, workers=workers, **kwargs)
+
+
+def timed_sync(mirror):
+    t0 = time.perf_counter()
+    report = mirror.sync()
+    return time.perf_counter() - t0, report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--days", type=int, default=6,
+                        help="campaign days in the synthetic scenario")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per leg; best is kept")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="concurrent collector-month transfers")
+    parser.add_argument("--out", default="BENCH_mirror.json")
+    args = parser.parse_args(argv)
+
+    results: dict = {
+        "host": {"cpu_count": os.cpu_count()},
+        "rounds": args.rounds,
+        "workers": args.workers,
+        "legs": {},
+    }
+
+    with tempfile.TemporaryDirectory(prefix="bench_mirror_") as tmp:
+        root = Path(tmp)
+        built = build_synthetic_archive(root / "archive", days=args.days)
+        archive_bytes = sum(p.stat().st_size
+                            for p in built.root.rglob("*") if p.is_file())
+        archive_files = sum(1 for p in built.root.rglob("*") if p.is_file())
+        results["workload"] = {
+            "days": args.days,
+            "files": archive_files,
+            "bytes": archive_bytes,
+        }
+        server = ArchiveServer(built.root).start()
+        try:
+            # --- cold sync -------------------------------------------
+            best, report = float("inf"), None
+            for round_index in range(args.rounds):
+                dest = root / f"cold-{round_index}"
+                elapsed, report = timed_sync(
+                    make_mirror(server.url, dest, args.workers))
+                assert report.ok
+                best = min(best, elapsed)
+            results["legs"]["cold_sync"] = {
+                "seconds": round(best, 6),
+                "files": report.files_downloaded,
+                "bytes": report.bytes_downloaded,
+                "files_per_second": round(report.files_downloaded / best, 1),
+                "bytes_per_second": round(report.bytes_downloaded / best, 1),
+            }
+            print(f"      cold: {report.files_downloaded:4d} files "
+                  f"({report.bytes_downloaded} B) in {best * 1e3:8.1f} ms")
+            cold_best = best
+
+            # --- warm re-sync ----------------------------------------
+            warm_mirror = make_mirror(server.url, root / "cold-0",
+                                      args.workers)
+            best = float("inf")
+            for _ in range(args.rounds):
+                elapsed, report = timed_sync(warm_mirror)
+                assert report.ok and report.files_downloaded == 0
+                best = min(best, elapsed)
+            results["legs"]["warm_sync"] = {
+                "seconds": round(best, 6),
+                "files_skipped": report.files_skipped,
+                "speedup_vs_cold": round(cold_best / best, 1),
+            }
+            print(f"      warm: {report.files_skipped:4d} files skipped "
+                  f"in {best * 1e3:8.1f} ms "
+                  f"({cold_best / best:.1f}x vs cold)")
+
+            # --- resume after an interrupted transfer ----------------
+            best, resumed_bytes = float("inf"), 0
+            for round_index in range(args.rounds):
+                dest = root / f"resume-{round_index}"
+                plan = FaultPlan(script=[("updates.", "truncate")])
+                proxy = FaultyProxy(server.url, plan).start()
+                try:
+                    interrupted = make_mirror(proxy.url, dest, args.workers,
+                                              retries=0)
+                    assert not interrupted.sync().ok
+                finally:
+                    proxy.stop()
+                elapsed, report = timed_sync(
+                    make_mirror(server.url, dest, args.workers))
+                assert report.ok and report.bytes_resumed > 0
+                resumed_bytes = report.bytes_resumed
+                best = min(best, elapsed)
+            results["legs"]["resume"] = {
+                "seconds": round(best, 6),
+                "bytes_resumed": resumed_bytes,
+                "note": "healthy re-sync after a mid-file interruption; "
+                        "the partial download is continued via Range",
+            }
+            print(f"    resume: {resumed_bytes:4d} B resumed "
+                  f"in {best * 1e3:8.1f} ms")
+
+            # --- cold sync through 10% combined faults ---------------
+            best, report, plan = float("inf"), None, None
+            for round_index in range(args.rounds):
+                dest = root / f"faulty-{round_index}"
+                plan = FaultPlan(rates={"drop": 0.04, "error": 0.03,
+                                        "truncate": 0.02, "corrupt": 0.01},
+                                 seed=20240601 + round_index)
+                proxy = FaultyProxy(server.url, plan).start()
+                try:
+                    elapsed, report = timed_sync(
+                        make_mirror(proxy.url, dest, args.workers))
+                    assert report.ok
+                    best = min(best, elapsed)
+                finally:
+                    proxy.stop()
+            results["legs"]["faulty_sync"] = {
+                "seconds": round(best, 6),
+                "fault_rates": dict(plan.rates),
+                "faults_injected_last_round": dict(plan.injected),
+                "retries_last_round": report.retries,
+                "overhead_vs_cold": round(best / cold_best, 2),
+            }
+            print(f"    faulty: {best * 1e3:8.1f} ms "
+                  f"({best / cold_best:.2f}x cold; "
+                  f"{report.retries} retries last round)")
+        finally:
+            server.stop()
+        shutil.rmtree(root / "cold-1", ignore_errors=True)
+
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2, sort_keys=False) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,7 +44,11 @@ def write_updates_file(path: Union[str, Path], records: Iterable[Record],
         items.sort(key=record_sort_key)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with gzip.open(path, "wb") as handle:
+    # mtime=0 and an empty embedded filename make re-written files
+    # byte-identical, so transport manifest checksums are stable.
+    with open(path, "wb") as raw, \
+            gzip.GzipFile(filename="", mode="wb", fileobj=raw,
+                          mtime=0) as handle:
         for record in items:
             if isinstance(record, UpdateRecord):
                 handle.write(encode_update_record(record))

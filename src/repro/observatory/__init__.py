@@ -21,7 +21,11 @@ from repro.observatory.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
-from repro.observatory.client import ObservatoryClient
+from repro.observatory.client import (
+    ObservatoryClient,
+    ObservatoryError,
+    ObservatoryUnreachable,
+)
 from repro.observatory.ingest import ObservatoryIngest
 from repro.observatory.server import ObservatoryServer
 from repro.observatory.store import EventStore
@@ -35,7 +39,9 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "EventStore",
     "ObservatoryClient",
+    "ObservatoryError",
     "ObservatoryIngest",
+    "ObservatoryUnreachable",
     "ObservatoryServer",
     "SyntheticScenario",
     "build_synthetic_archive",

@@ -1,14 +1,25 @@
-"""Programmatic client for the observatory HTTP API (stdlib urllib)."""
+"""Programmatic client for the observatory HTTP API (stdlib urllib).
+
+Requests carry a connect/read timeout and a small bounded retry with
+exponential backoff: transient transport failures (connection refused,
+resets, timeouts, 5xx) are retried, API-level errors (4xx with a JSON
+body) raise :class:`ObservatoryError` immediately, and a server that
+stays unreachable after the retry budget raises
+:class:`ObservatoryUnreachable` with the attempt count and last cause.
+"""
 
 from __future__ import annotations
 
+import http.client
 import json
-from typing import Any, Optional
-from urllib.error import HTTPError
+import socket
+import time
+from typing import Any, Callable, Optional
+from urllib.error import HTTPError, URLError
 from urllib.parse import quote, urlencode
 from urllib.request import urlopen
 
-__all__ = ["ObservatoryClient", "ObservatoryError"]
+__all__ = ["ObservatoryClient", "ObservatoryError", "ObservatoryUnreachable"]
 
 
 class ObservatoryError(Exception):
@@ -20,12 +31,34 @@ class ObservatoryError(Exception):
         self.message = message
 
 
-class ObservatoryClient:
-    """Thin JSON client: one method per endpoint."""
+class ObservatoryUnreachable(Exception):
+    """The server could not be reached after exhausting the retries."""
 
-    def __init__(self, base_url: str, timeout: float = 10.0):
+    def __init__(self, url: str, attempts: int, cause: Exception):
+        super().__init__(
+            f"{url} unreachable after {attempts} attempt(s): {cause}")
+        self.url = url
+        self.attempts = attempts
+        self.cause = cause
+
+
+class ObservatoryClient:
+    """Thin JSON client: one method per endpoint.
+
+    ``timeout`` applies per request (connect + read); ``retries`` extra
+    attempts are made on transport failures and 5xx responses, sleeping
+    ``backoff * 2**attempt`` between them (``sleep`` is injectable for
+    tests).
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0,
+                 retries: int = 2, backoff: float = 0.2,
+                 sleep: Callable[[float], None] = time.sleep):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self._sleep = sleep
 
     def _get(self, path: str, params: Optional[dict[str, Any]] = None,
              raw: bool = False):
@@ -33,17 +66,30 @@ class ObservatoryClient:
         url = self.base_url + path
         if query:
             url += "?" + urlencode(query)
-        try:
-            with urlopen(url, timeout=self.timeout) as response:
-                body = response.read().decode("utf-8")
-        except HTTPError as exc:
-            detail = exc.read().decode("utf-8", "replace")
+        last: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
             try:
-                detail = json.loads(detail).get("error", detail)
-            except ValueError:
-                pass
-            raise ObservatoryError(exc.code, detail) from None
-        return body if raw else json.loads(body)
+                with urlopen(url, timeout=self.timeout) as response:
+                    body = response.read().decode("utf-8")
+                return body if raw else json.loads(body)
+            except HTTPError as exc:
+                detail = exc.read().decode("utf-8", "replace")
+                try:
+                    detail = json.loads(detail).get("error", detail)
+                except ValueError:
+                    pass
+                if exc.code < 500:
+                    raise ObservatoryError(exc.code, detail) from None
+                last = ObservatoryError(exc.code, detail)
+            except (URLError, OSError, http.client.HTTPException,
+                    socket.timeout) as exc:
+                last = exc
+            if attempt < self.retries:
+                self._sleep(self.backoff * (2 ** attempt))
+        if isinstance(last, ObservatoryError):
+            raise last
+        assert last is not None
+        raise ObservatoryUnreachable(url, self.retries + 1, last) from None
 
     def healthz(self) -> dict[str, Any]:
         return self._get("/healthz")

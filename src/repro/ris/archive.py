@@ -123,7 +123,11 @@ class ArchiveWriter:
         """Write one bview snapshot."""
         path = self.rib_path(dump.collector, dump.timestamp)
         path.parent.mkdir(parents=True, exist_ok=True)
-        with gzip.open(path, "wb") as handle:
+        # mtime=0 + empty embedded filename: byte-identical re-writes,
+        # stable transport manifest checksums.
+        with open(path, "wb") as raw, \
+                gzip.GzipFile(filename="", mode="wb", fileobj=raw,
+                              mtime=0) as handle:
             handle.write(encode_rib_dump(dump))
         write_index(path, (), index=build_rib_index(dump))
         return path

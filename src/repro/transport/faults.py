@@ -1,0 +1,193 @@
+"""Deterministic fault injection for the archive transport.
+
+:class:`FaultyProxy` sits between an :class:`~repro.transport.client.
+ArchiveMirror` and an upstream :class:`~repro.transport.server.
+ArchiveServer`, forwarding requests verbatim except when the
+:class:`FaultPlan` says otherwise.  Five fault kinds cover the failure
+model the mirror must survive:
+
+``drop``      close the connection before any response bytes
+``error``     answer 503 (a 5xx burst is just a high rate)
+``stall``     sleep past the client's read timeout, then serve normally
+``truncate``  send correct headers but only half the body, then close
+``corrupt``   flip a byte mid-body (checksum verification must catch it)
+
+Decisions are deterministic: a scripted list of ``(substring, kind)``
+pairs is consumed first (each fires once, on the first matching
+request), then per-kind probabilities drawn from a seeded RNG.  With a
+single-threaded mirror the request order — and therefore the exact
+fault sequence — is reproducible, which is what lets the robustness
+tests assert byte-identical outcomes *through* injected faults.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Sequence
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+__all__ = ["FaultPlan", "FaultyProxy", "FAULT_KINDS"]
+
+FAULT_KINDS = ("drop", "error", "stall", "truncate", "corrupt")
+
+#: Request headers forwarded to the upstream.
+_FORWARD_HEADERS = ("Range", "If-None-Match")
+#: Response headers forwarded back to the client.
+_RETURN_HEADERS = ("Content-Type", "ETag", "Accept-Ranges", "Content-Range")
+
+
+@dataclass
+class FaultPlan:
+    """What to inject, and when.
+
+    ``script`` entries are ``(path_substring, kind)`` pairs, consumed in
+    order — the first request whose path contains the substring gets the
+    fault, exactly once.  ``rates`` maps fault kinds to probabilities
+    evaluated (in :data:`FAULT_KINDS` order) for every request the
+    script did not claim, using a RNG seeded with ``seed`` so a given
+    request sequence always faults identically.
+    """
+
+    rates: dict[str, float] = field(default_factory=dict)
+    script: Sequence[tuple[str, str]] = ()
+    seed: int = 0
+    stall_seconds: float = 3.0
+
+    def __post_init__(self) -> None:
+        import random
+
+        for kind in set(self.rates) | {kind for _, kind in self.script}:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind: {kind!r}")
+        self._rng = random.Random(self.seed)
+        self._pending = list(self.script)
+        self._lock = threading.Lock()
+        self.injected: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self.requests_seen = 0
+
+    def decide(self, path: str) -> Optional[str]:
+        """The fault kind for this request, or None to pass through."""
+        with self._lock:
+            self.requests_seen += 1
+            for i, (substring, kind) in enumerate(self._pending):
+                if substring in path:
+                    del self._pending[i]
+                    self.injected[kind] += 1
+                    return kind
+            for kind in FAULT_KINDS:
+                rate = self.rates.get(kind, 0.0)
+                if rate > 0 and self._rng.random() < rate:
+                    self.injected[kind] += 1
+                    return kind
+            return None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-faulty-proxy"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        proxy: "FaultyProxy" = self.server.proxy  # type: ignore[attr-defined]
+        fault = proxy.plan.decide(self.path)
+        if fault == "drop":
+            self.close_connection = True
+            return
+        if fault == "error":
+            payload = json.dumps({"error": "injected 503"}).encode()
+            self.send_response(503)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+            return
+        if fault == "stall":
+            time.sleep(proxy.plan.stall_seconds)
+
+        status, headers, body = proxy.forward(self)
+        if fault == "truncate" and len(body) > 1:
+            self.send_response(status)
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body[:len(body) // 2])
+            self.wfile.flush()
+            self.close_connection = True
+            return
+        if fault == "corrupt" and body:
+            middle = len(body) // 2
+            body = body[:middle] + bytes([body[middle] ^ 0xFF]) \
+                + body[middle + 1:]
+        self.send_response(status)
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+
+class FaultyProxy:
+    """Forward to ``upstream_url``, injecting faults per ``plan``."""
+
+    def __init__(self, upstream_url: str, plan: Optional[FaultPlan] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 30.0):
+        if "://" not in upstream_url:  # accept bare host:port
+            upstream_url = "http://" + upstream_url
+        self.upstream_url = upstream_url.rstrip("/")
+        self.plan = plan if plan is not None else FaultPlan()
+        self.timeout = timeout
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.proxy = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "FaultyProxy":
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="faulty-proxy", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking serve (the CLI foreground mode)."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def forward(self, handler: _Handler) -> tuple[int, dict[str, str], bytes]:
+        """One upstream round-trip; upstream errors pass through as-is."""
+        request = Request(self.upstream_url + handler.path)
+        for name in _FORWARD_HEADERS:
+            value = handler.headers.get(name)
+            if value is not None:
+                request.add_header(name, value)
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                body = response.read()
+                headers = {name: response.headers[name]
+                           for name in _RETURN_HEADERS
+                           if response.headers.get(name) is not None}
+                return response.status, headers, body
+        except HTTPError as exc:
+            body = exc.read()
+            headers = {name: exc.headers[name] for name in _RETURN_HEADERS
+                       if exc.headers and exc.headers.get(name) is not None}
+            return exc.code, headers, body

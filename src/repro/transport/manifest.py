@@ -1,0 +1,167 @@
+"""Signed checksum manifests for archive transport.
+
+The transport layer never trusts bytes on the wire: every
+collector-month directory is described by a JSON manifest listing each
+file's SHA-256, size and mtime, and the whole archive by a root *index*
+listing collectors, their months, and any top-level extra files
+(``scenario.json``).  Both documents carry an HMAC-SHA256 signature over
+their canonical JSON encoding, so a mirror can detect a tampered or
+bit-rotted manifest before it trusts any checksum in it.
+
+The signature key is a shared secret between server and mirror
+(:data:`DEFAULT_KEY` by default — integrity, not secrecy, is the goal;
+operators running over untrusted networks supply their own key).
+
+Determinism matters: the archive writers emit byte-identical gzip files
+for identical record streams (``mtime=0``), so manifest checksums are
+stable across re-writes and an incremental re-sync of an unchanged
+archive downloads nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import re
+from pathlib import Path
+from typing import Any, Optional, Union
+
+__all__ = ["ManifestError", "DEFAULT_KEY", "MANIFEST_VERSION",
+           "MANIFEST_NAME", "INDEX_NAME", "sha256_file", "file_entry",
+           "build_month_manifest", "build_archive_index", "sign_document",
+           "verify_document", "canonical_bytes"]
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+INDEX_NAME = "index.json"
+
+#: Default shared signing key (integrity checking, not authentication).
+DEFAULT_KEY = b"repro-archive-transport-v1"
+
+_MONTH_RE = re.compile(r"^\d{4}\.\d{2}$")
+_HASH_CHUNK = 1 << 20
+
+
+class ManifestError(ValueError):
+    """A manifest failed to parse or its signature did not verify."""
+
+
+def sha256_file(path: Union[str, Path]) -> str:
+    """Streaming SHA-256 of a file, hex-encoded."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(_HASH_CHUNK)
+            if not chunk:
+                return digest.hexdigest()
+            digest.update(chunk)
+
+
+def file_entry(path: Union[str, Path]) -> dict[str, Any]:
+    """Manifest entry for one file: checksum, size, mtime."""
+    path = Path(path)
+    stat = path.stat()
+    return {"sha256": sha256_file(path), "size": stat.st_size,
+            "mtime_ns": stat.st_mtime_ns}
+
+
+def canonical_bytes(document: dict[str, Any]) -> bytes:
+    """The byte string the signature covers: compact, key-sorted JSON of
+    everything except the ``signature`` field itself."""
+    body = {k: v for k, v in document.items() if k != "signature"}
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+
+
+def sign_document(document: dict[str, Any],
+                  key: bytes = DEFAULT_KEY) -> dict[str, Any]:
+    """Return ``document`` with its HMAC-SHA256 ``signature`` attached."""
+    signed = dict(document)
+    signed["signature"] = hmac.new(key, canonical_bytes(document),
+                                   hashlib.sha256).hexdigest()
+    return signed
+
+
+def verify_document(document: Any, key: bytes = DEFAULT_KEY) -> dict[str, Any]:
+    """Validate shape, version and signature; returns the document.
+
+    Raises :class:`ManifestError` on any mismatch — a mirror treats that
+    exactly like a network failure (retry, then give up loudly).
+    """
+    if not isinstance(document, dict):
+        raise ManifestError(f"manifest is not an object: {type(document).__name__}")
+    if document.get("version") != MANIFEST_VERSION:
+        raise ManifestError(
+            f"unsupported manifest version: {document.get('version')!r}")
+    signature = document.get("signature")
+    if not isinstance(signature, str):
+        raise ManifestError("manifest carries no signature")
+    expected = hmac.new(key, canonical_bytes(document),
+                        hashlib.sha256).hexdigest()
+    if not hmac.compare_digest(signature, expected):
+        raise ManifestError("manifest signature mismatch")
+    return document
+
+
+def _is_month_dir(path: Path) -> bool:
+    return path.is_dir() and _MONTH_RE.match(path.name) is not None
+
+
+def build_month_manifest(root: Union[str, Path], collector: str, month: str,
+                         key: bytes = DEFAULT_KEY) -> dict[str, Any]:
+    """Signed manifest of one ``<root>/<collector>/<month>`` directory.
+
+    Every regular, non-hidden file in the directory is listed — data
+    files *and* their ``.idx`` sidecars, so a mirror reproduces the
+    indexed read path without re-decoding anything.
+    """
+    directory = Path(root) / collector / month
+    if not directory.is_dir():
+        raise FileNotFoundError(f"no such collector-month: {directory}")
+    files = {}
+    for path in sorted(directory.iterdir()):
+        if path.is_file() and not path.name.startswith("."):
+            files[path.name] = file_entry(path)
+    return sign_document({
+        "version": MANIFEST_VERSION,
+        "collector": collector,
+        "month": month,
+        "files": files,
+    }, key)
+
+
+def build_archive_index(root: Union[str, Path],
+                        key: bytes = DEFAULT_KEY) -> dict[str, Any]:
+    """Signed root index: collectors, their months, and top-level extras
+    (regular non-hidden files at the archive root, e.g. ``scenario.json``)."""
+    root = Path(root)
+    if not root.is_dir():
+        raise FileNotFoundError(f"archive root does not exist: {root}")
+    collectors: dict[str, list[str]] = {}
+    extras: dict[str, dict[str, Any]] = {}
+    for path in sorted(root.iterdir()):
+        if path.name.startswith("."):
+            continue
+        if path.is_dir():
+            months = sorted(p.name for p in path.iterdir() if _is_month_dir(p))
+            if months:
+                collectors[path.name] = months
+        elif path.is_file():
+            extras[path.name] = file_entry(path)
+    return sign_document({
+        "version": MANIFEST_VERSION,
+        "collectors": collectors,
+        "extras": extras,
+    }, key)
+
+
+def parse_document(payload: Union[str, bytes],
+                   key: Optional[bytes] = DEFAULT_KEY) -> dict[str, Any]:
+    """Parse JSON and (unless ``key`` is None) verify the signature."""
+    try:
+        document = json.loads(payload)
+    except ValueError as exc:
+        raise ManifestError(f"manifest is not valid JSON: {exc}") from None
+    if key is None:
+        return document
+    return verify_document(document, key)

@@ -203,3 +203,96 @@ class TestObservatoryCli:
         assert code == 2
         err = capsys.readouterr().err
         assert "scenario" in err and "Traceback" not in err
+
+
+class TestClientRobustness:
+    """Satellite: connect/read timeouts, bounded retry with backoff, and
+    a clear error type when the server is unreachable."""
+
+    def test_unreachable_server_raises_clear_error(self):
+        from repro.observatory import ObservatoryUnreachable
+
+        sleeps = []
+        client = ObservatoryClient("http://127.0.0.1:9", timeout=0.5,
+                                   retries=2, backoff=0.1,
+                                   sleep=sleeps.append)
+        with pytest.raises(ObservatoryUnreachable) as excinfo:
+            client.healthz()
+        assert excinfo.value.attempts == 3
+        assert sleeps == [0.1, 0.2]  # exponential backoff between attempts
+
+    def test_4xx_is_not_retried(self, server):
+        sleeps = []
+        client = ObservatoryClient(server.url, retries=3, sleep=sleeps.append)
+        with pytest.raises(ObservatoryError) as excinfo:
+            client.zombie("2001:db8:ffff::/48")
+        assert excinfo.value.status == 404
+        assert sleeps == []
+
+    def test_5xx_retried_until_success(self):
+        import threading
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        failures = [2]  # first two requests answer 503
+
+        class Flaky(BaseHTTPRequestHandler):
+            def log_message(self, format, *args):  # noqa: A002
+                pass
+
+            def do_GET(self):  # noqa: N802
+                if failures[0] > 0:
+                    failures[0] -= 1
+                    payload = b'{"error": "warming up"}'
+                    self.send_response(503)
+                else:
+                    payload = b'{"status": "ok"}'
+                    self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+        httpd = ThreadingHTTPServer(("127.0.0.1", 0), Flaky)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            url = f"http://127.0.0.1:{httpd.server_address[1]}"
+            sleeps = []
+            client = ObservatoryClient(url, retries=3, backoff=0.05,
+                                       sleep=sleeps.append)
+            assert client.healthz() == {"status": "ok"}
+            assert len(sleeps) == 2
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+
+    def test_5xx_exhaustion_raises_observatory_error(self):
+        import threading
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        class AlwaysDown(BaseHTTPRequestHandler):
+            def log_message(self, format, *args):  # noqa: A002
+                pass
+
+            def do_GET(self):  # noqa: N802
+                payload = b'{"error": "down for maintenance"}'
+                self.send_response(503)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+        httpd = ThreadingHTTPServer(("127.0.0.1", 0), AlwaysDown)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            url = f"http://127.0.0.1:{httpd.server_address[1]}"
+            client = ObservatoryClient(url, retries=1, backoff=0.01,
+                                       sleep=lambda seconds: None)
+            with pytest.raises(ObservatoryError) as excinfo:
+                client.healthz()
+            assert excinfo.value.status == 503
+            assert "maintenance" in excinfo.value.message
+        finally:
+            httpd.shutdown()
+            httpd.server_close()

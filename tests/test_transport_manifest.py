@@ -1,0 +1,152 @@
+"""Tests for signed transport manifests and deterministic archive bytes."""
+
+import json
+
+import pytest
+
+from repro.mrt.files import write_updates_file
+from repro.ris.archive import ArchiveWriter
+from repro.simulator.ribgen import generate_rib_dumps
+from repro.transport import (
+    ManifestError,
+    build_archive_index,
+    build_month_manifest,
+    sha256_file,
+    sign_document,
+    verify_document,
+)
+from repro.transport.manifest import file_entry, parse_document
+from repro.utils.timeutil import ts
+
+from helpers import ann, wd
+
+
+def make_records(n=8, start=None):
+    start = start if start is not None else ts(2024, 6, 1)
+    records = []
+    for i in range(n):
+        records.append(ann(start + 60 * i, "2001:db8:100::/48", 25091, 3333))
+        records.append(wd(start + 60 * i + 30, "2001:db8:100::/48"))
+    return records
+
+
+@pytest.fixture()
+def archive(tmp_path):
+    writer = ArchiveWriter(tmp_path / "arch")
+    writer.write_updates("rrc00", make_records())
+    (tmp_path / "arch" / "scenario.json").write_text('{"version": 1}')
+    return tmp_path / "arch"
+
+
+class TestSigning:
+    def test_sign_and_verify_round_trip(self):
+        document = sign_document({"version": 1, "files": {"a": 1}})
+        assert verify_document(document) == document
+
+    def test_tampered_payload_rejected(self):
+        document = sign_document({"version": 1, "files": {"a": 1}})
+        document["files"]["a"] = 2
+        with pytest.raises(ManifestError, match="signature mismatch"):
+            verify_document(document)
+
+    def test_wrong_key_rejected(self):
+        document = sign_document({"version": 1}, key=b"key-one")
+        with pytest.raises(ManifestError, match="signature mismatch"):
+            verify_document(document, key=b"key-two")
+
+    def test_missing_signature_rejected(self):
+        with pytest.raises(ManifestError, match="no signature"):
+            verify_document({"version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ManifestError, match="version"):
+            verify_document(sign_document({"version": 99}))
+
+    def test_parse_document_bad_json(self):
+        with pytest.raises(ManifestError, match="not valid JSON"):
+            parse_document(b"{nope")
+
+
+class TestMonthManifest:
+    def test_lists_data_and_sidecar_files(self, archive):
+        manifest = build_month_manifest(archive, "rrc00", "2024.06")
+        names = set(manifest["files"])
+        assert any(n.startswith("updates.") and n.endswith(".gz")
+                   for n in names)
+        assert any(n.endswith(".gz.idx") for n in names)
+        verify_document(manifest)
+
+    def test_entries_match_disk(self, archive):
+        manifest = build_month_manifest(archive, "rrc00", "2024.06")
+        for name, entry in manifest["files"].items():
+            path = archive / "rrc00" / "2024.06" / name
+            assert entry["sha256"] == sha256_file(path)
+            assert entry["size"] == path.stat().st_size
+
+    def test_unknown_month_raises(self, archive):
+        with pytest.raises(FileNotFoundError):
+            build_month_manifest(archive, "rrc00", "1999.01")
+
+
+class TestArchiveIndex:
+    def test_collectors_months_extras(self, archive):
+        index = build_archive_index(archive)
+        assert index["collectors"] == {"rrc00": ["2024.06"]}
+        assert "scenario.json" in index["extras"]
+        verify_document(index)
+
+    def test_hidden_entries_excluded(self, archive):
+        (archive / ".mirror").mkdir()
+        (archive / ".hidden.json").write_text("{}")
+        index = build_archive_index(archive)
+        assert ".mirror" not in index["collectors"]
+        assert ".hidden.json" not in index["extras"]
+
+
+class TestDeterministicBytes:
+    """Satellite: re-written gzip files are byte-identical, so manifest
+    checksums are stable across runs."""
+
+    def test_update_file_rewrite_is_byte_identical(self, tmp_path):
+        records = make_records()
+        a, b = tmp_path / "a.gz", tmp_path / "b.gz"
+        write_updates_file(a, records)
+        write_updates_file(b, records)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_rib_rewrite_is_byte_identical(self, tmp_path):
+        records = make_records()
+        start = ts(2024, 6, 1)
+        dumps = list(generate_rib_dumps(records, start, start + 9 * 3600))
+        assert dumps
+        writer_a = ArchiveWriter(tmp_path / "a")
+        writer_b = ArchiveWriter(tmp_path / "b")
+        path_a = writer_a.write_rib(dumps[0])
+        path_b = writer_b.write_rib(dumps[0])
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_manifest_checksums_stable_across_rewrites(self, tmp_path):
+        root = tmp_path / "arch"
+        ArchiveWriter(root).write_updates("rrc00", make_records())
+        first = build_month_manifest(root, "rrc00", "2024.06")
+        # Rewrite the same content from scratch (fresh writer).
+        for path in (root / "rrc00" / "2024.06").glob("updates.*.gz"):
+            path.unlink()
+        ArchiveWriter(root).write_updates("rrc00", make_records())
+        second = build_month_manifest(root, "rrc00", "2024.06")
+        # .idx sidecars embed the data file's (size, mtime) freshness
+        # stamp, so only the data files themselves are byte-stable.
+        shas_first = {n: e["sha256"] for n, e in first["files"].items()
+                      if n.endswith(".gz")}
+        shas_second = {n: e["sha256"] for n, e in second["files"].items()
+                       if n.endswith(".gz")}
+        assert shas_first and shas_first == shas_second
+
+    def test_file_entry_shape(self, tmp_path):
+        path = tmp_path / "x"
+        path.write_bytes(b"hello")
+        entry = file_entry(path)
+        assert set(entry) == {"sha256", "size", "mtime_ns"}
+        assert entry["size"] == 5
+        payload = json.dumps(entry)
+        assert json.loads(payload) == entry

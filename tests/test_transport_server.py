@@ -1,0 +1,186 @@
+"""Tests for the RIS-style HTTP archive server (ETag, Range, manifests)."""
+
+import http.client
+import json
+import urllib.request
+from urllib.error import HTTPError
+
+import pytest
+
+from repro.ris.archive import ArchiveWriter
+from repro.transport import ArchiveServer, sha256_file, verify_document
+from repro.utils.timeutil import ts
+
+from helpers import ann, wd
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    root = tmp_path_factory.mktemp("served-archive")
+    writer = ArchiveWriter(root)
+    start = ts(2024, 6, 1)
+    records = []
+    for i in range(12):
+        records.append(ann(start + 120 * i, "2001:db8:1::/48", 25091, 3333))
+        records.append(wd(start + 120 * i + 60, "2001:db8:1::/48"))
+    writer.write_updates("rrc00", records)
+    (root / "scenario.json").write_text(json.dumps({"version": 1}))
+    server = ArchiveServer(root).start()
+    yield root, server
+    server.stop()
+
+
+def get(url, headers=None):
+    request = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=5) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def get_error(url, headers=None):
+    try:
+        get(url, headers)
+    except HTTPError as exc:
+        exc.read()
+        return exc.code, dict(exc.headers or {})
+    raise AssertionError("expected an HTTP error")
+
+
+@pytest.fixture()
+def first_file(served):
+    root, server = served
+    path = sorted((root / "rrc00" / "2024.06").glob("updates.*.gz"))[0]
+    return path, f"{server.url}/rrc00/2024.06/{path.name}"
+
+
+class TestMetadata:
+    def test_healthz(self, served):
+        _, server = served
+        status, _, body = get(server.url + "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_index_is_signed_and_lists_archive(self, served):
+        _, server = served
+        _, _, body = get(server.url + "/index.json")
+        index = verify_document(json.loads(body))
+        assert index["collectors"] == {"rrc00": ["2024.06"]}
+        assert "scenario.json" in index["extras"]
+
+    def test_month_manifest_is_signed(self, served):
+        root, server = served
+        _, _, body = get(server.url + "/rrc00/2024.06/manifest.json")
+        manifest = verify_document(json.loads(body))
+        on_disk = {p.name for p in (root / "rrc00" / "2024.06").iterdir()
+                   if p.is_file()}
+        assert set(manifest["files"]) == on_disk
+
+    def test_manifest_cache_invalidates_on_change(self, served):
+        root, server = served
+        _, _, before = get(server.url + "/rrc00/2024.06/manifest.json")
+        extra = root / "rrc00" / "2024.06" / "updates.20240601.2355.gz"
+        extra.write_bytes(b"\x1f\x8b" + b"x" * 30)
+        try:
+            _, _, after = get(server.url + "/rrc00/2024.06/manifest.json")
+            assert extra.name in json.loads(after)["files"]
+            assert before != after
+        finally:
+            extra.unlink()
+
+
+class TestFileServing:
+    def test_bytes_match_disk_with_etag(self, first_file):
+        path, url = first_file
+        status, headers, body = get(url)
+        assert status == 200
+        assert body == path.read_bytes()
+        assert headers["ETag"] == f'"{sha256_file(path)}"'
+        assert headers["Accept-Ranges"] == "bytes"
+        assert headers["Content-Type"] == "application/gzip"
+
+    def test_if_none_match_304(self, first_file):
+        path, url = first_file
+        etag = f'"{sha256_file(path)}"'
+        # urllib treats 304 as an error response.
+        code, _ = get_error(url, {"If-None-Match": etag})
+        assert code == 304
+
+    def test_stale_etag_refetches(self, first_file):
+        _, url = first_file
+        status, _, body = get(url, {"If-None-Match": '"deadbeef"'})
+        assert status == 200 and body
+
+    def test_range_resume(self, first_file):
+        path, url = first_file
+        data = path.read_bytes()
+        status, headers, body = get(url, {"Range": "bytes=10-"})
+        assert status == 206
+        assert body == data[10:]
+        assert headers["Content-Range"] == f"bytes 10-{len(data)-1}/{len(data)}"
+
+    def test_range_closed_and_suffix(self, first_file):
+        path, url = first_file
+        data = path.read_bytes()
+        _, _, body = get(url, {"Range": "bytes=0-9"})
+        assert body == data[:10]
+        _, _, body = get(url, {"Range": "bytes=-5"})
+        assert body == data[-5:]
+
+    def test_range_unsatisfiable_416(self, first_file):
+        path, url = first_file
+        size = path.stat().st_size
+        code, headers = get_error(url, {"Range": f"bytes={size + 99}-"})
+        assert code == 416
+        assert headers["Content-Range"] == f"bytes */{size}"
+
+    def test_head_has_headers_no_body(self, served, first_file):
+        path, url = first_file
+        _, server = served
+        parsed = url.split("/", 3)
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=5)
+        conn.request("HEAD", "/" + parsed[3])
+        response = conn.getresponse()
+        body = response.read()
+        conn.close()
+        assert response.status == 200
+        assert response.headers["ETag"] == f'"{sha256_file(path)}"'
+        assert body == b""
+
+    def test_extras_served_at_root(self, served):
+        root, server = served
+        _, _, body = get(server.url + "/scenario.json")
+        assert body == (root / "scenario.json").read_bytes()
+
+
+class TestErrors:
+    def test_404_unknown_resource(self, served):
+        _, server = served
+        code, _ = get_error(server.url + "/rrc99/2024.06/manifest.json")
+        assert code == 404
+
+    def test_404_missing_file(self, served):
+        _, server = served
+        code, _ = get_error(server.url + "/rrc00/2024.06/updates.nope.gz")
+        assert code == 404
+
+    def test_403_path_traversal(self, served):
+        _, server = served
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=5)
+        conn.request("GET", "/rrc00/2024.06/..%2F..%2Fscenario.json")
+        response = conn.getresponse()
+        response.read()
+        conn.close()
+        assert response.status in (403, 404)
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=5)
+        conn.putrequest("GET", "/../../../etc/passwd",
+                        skip_host=True, skip_accept_encoding=True)
+        conn.putheader("Host", f"{server.host}:{server.port}")
+        conn.endheaders()
+        response = conn.getresponse()
+        response.read()
+        conn.close()
+        assert response.status in (403, 404)
+
+    def test_root_is_404(self, served):
+        _, server = served
+        code, _ = get_error(server.url + "/")
+        assert code == 404
