@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Chaos harness: corrupt an archive mid-ingest and prove convergence.
+
+The resilience contract this script asserts end to end:
+
+    supervised tolerant ingest of a corrupted archive produces a
+    byte-identical event store to a clean ingest of the same archive
+    with the destroyed records removed — and the store passes
+    ``observatory doctor`` afterwards.
+
+The run:
+
+1. builds the deterministic synthetic campaign archive and ingests it
+   once, clean, for the baseline;
+2. copies it and corrupts the *first half* of the window up front
+   (seeded byte flips inside records, garbage runs between records,
+   mid-record truncation of file tails);
+3. starts a supervised ingest with a tolerant error policy; when the
+   ingest crosses the window midpoint, the ``on_batch`` hook corrupts
+   the *second half* (files strictly ahead of the watermark, so no
+   already-consumed bytes change) and then raises once, forcing a
+   crash + checkpoint-restart through the supervisor;
+4. rebuilds the reference archive (clean minus exactly the destroyed
+   records), ingests it clean, and compares the two stores byte for
+   byte;
+5. runs the store fsck and reports everything.
+
+Exit status 0 only if the stores match, the decoder skipped at least
+the destroyed record count's worth of poison, and the doctor finds the
+chaos store clean.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_ingest.py [--days 2] [--seed 0]
+        [--rate 0.05] [--garbage-rate 0.03] [--truncate-rate 0.1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.observatory import (  # noqa: E402
+    EventStore,
+    ObservatoryIngest,
+    ObservatorySupervisor,
+    build_synthetic_archive,
+    fsck,
+)
+from repro.ris import Archive  # noqa: E402
+from repro.ris.archive import _parse_file_stamp  # noqa: E402
+from repro.ris.chaos import (  # noqa: E402
+    ChaosReport,
+    build_reference_archive,
+    corrupt_archive,
+)
+
+
+def ingest_all(archive_root: Path, store_dir: Path, scen,
+               error_policy=None) -> EventStore:
+    store = EventStore(store_dir)
+    ingest = ObservatoryIngest(
+        Archive(archive_root, error_policy=error_policy), store,
+        store_dir / "checkpoint.json", scen.intervals,
+        scen.start, scen.end)
+    ingest.finish()
+    store.close()
+    return store
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--days", type=int, default=2,
+                        help="beacon days in the synthetic scenario")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rate", type=float, default=0.05,
+                        help="per-record destruction probability")
+    parser.add_argument("--garbage-rate", type=float, default=0.03,
+                        help="per-record garbage-run probability")
+    parser.add_argument("--truncate-rate", type=float, default=0.1,
+                        help="per-file mid-record truncation probability")
+    parser.add_argument("--on-error", choices=["skip", "quarantine"],
+                        default="quarantine",
+                        help="tolerant policy for the chaos ingest")
+    parser.add_argument("--keep", default=None, metavar="DIR",
+                        help="keep the working tree here for inspection")
+    args = parser.parse_args(argv)
+
+    work = Path(args.keep) if args.keep else Path(tempfile.mkdtemp())
+    work.mkdir(parents=True, exist_ok=True)
+    clean = work / "archive-clean"
+    dirty = work / "archive-chaos"
+    scen = build_synthetic_archive(clean, days=args.days)
+    shutil.copytree(clean, dirty)
+    midpoint = (scen.start + scen.end) // 2
+
+    report = ChaosReport()
+    report.merge(corrupt_archive(
+        dirty, rate=args.rate, garbage_rate=args.garbage_rate,
+        truncate_rate=args.truncate_rate, seed=args.seed,
+        predicate=lambda p: _parse_file_stamp(p.name) < midpoint))
+    print(f"upfront corruption (first half): "
+          f"{report.records_destroyed} records destroyed, "
+          f"{report.garbage_runs} garbage runs, "
+          f"{report.truncations} truncations "
+          f"across {report.files_corrupted} file(s)")
+
+    chaos_store_dir = work / "store-chaos"
+    store = EventStore(chaos_store_dir)
+
+    def make_ingest() -> ObservatoryIngest:
+        return ObservatoryIngest(
+            Archive(dirty, error_policy=args.on_error), store,
+            chaos_store_dir / "checkpoint.json", scen.intervals,
+            scen.start, scen.end, checkpoint_every=100)
+
+    fired = {"done": False}
+
+    def mid_run_chaos(ingest: ObservatoryIngest) -> None:
+        if fired["done"]:
+            return
+        watermark = ingest._updates_watermark
+        if watermark is None or watermark < midpoint:
+            return
+        fired["done"] = True
+        # Damage only files strictly ahead of the watermark: nothing
+        # the ingest already consumed changes under its feet.
+        late = corrupt_archive(
+            dirty, rate=args.rate, garbage_rate=args.garbage_rate,
+            truncate_rate=args.truncate_rate, seed=args.seed + 1,
+            predicate=lambda p: _parse_file_stamp(p.name) > watermark)
+        report.merge(late)
+        print(f"mid-run corruption (past watermark {watermark}): "
+              f"{late.records_destroyed} records destroyed in "
+              f"{late.files_corrupted} file(s); forcing a crash")
+        raise RuntimeError("chaos: injected mid-ingest crash")
+
+    supervisor = ObservatorySupervisor(make_ingest, batch_records=50,
+                                       sleep=lambda s: None, seed=args.seed)
+    ok = supervisor.run(on_batch=mid_run_chaos)
+    store.close()
+    sup = supervisor.stats()
+    print(f"supervised ingest: state={sup['state']} "
+          f"restarts={sup['restarts']} "
+          f"records_skipped={sup['records_skipped']} "
+          f"bytes_quarantined={sup['bytes_quarantined']}")
+    total = max(1, report.records_total)
+    print(f"total damage: {report.records_destroyed}/{report.records_total} "
+          f"records destroyed ({report.records_destroyed / total:.1%})")
+
+    reference = build_reference_archive(clean, work / "archive-reference",
+                                        report.destroyed)
+    ingest_all(reference, work / "store-reference", scen)
+
+    chaos_bytes = EventStore(chaos_store_dir, readonly=True).raw_bytes()
+    reference_bytes = EventStore(work / "store-reference",
+                                 readonly=True).raw_bytes()
+    converged = chaos_bytes == reference_bytes
+    print(f"store convergence: chaos == clean-minus-destroyed: {converged}")
+
+    doctor = fsck(chaos_store_dir)
+    print(f"doctor: clean={doctor.clean} "
+          f"({doctor.segments_checked} segments, "
+          f"{doctor.events_checked} events)")
+    for issue in doctor.issues:
+        print(f"  ISSUE: {issue}", file=sys.stderr)
+
+    flips = report.records_destroyed - report.truncations
+    skipped_enough = sup["records_skipped"] >= flips
+    if not skipped_enough:
+        print(f"FAIL: decoder skipped {sup['records_skipped']} records, "
+              f"expected at least {flips}", file=sys.stderr)
+    failed = not (ok and converged and doctor.clean and skipped_enough)
+    if not args.keep:
+        shutil.rmtree(work)
+    print("CHAOS:", "FAIL" if failed else "PASS")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,8 @@ Commands
 ``detect``       run the revised detector over an on-disk RIS archive
 ``index``        write sidecar file indexes for an existing archive
 ``observatory``  the long-running detection service (§6):
-                 ``synth`` / ``ingest`` / ``serve`` / ``query`` / ``compact``
+                 ``synth`` / ``ingest`` / ``serve`` / ``query`` /
+                 ``compact`` / ``doctor``
 ``mirror``       the archive transport layer:
                  ``serve`` / ``sync`` / ``watch`` / ``verify`` / ``proxy``
 
@@ -72,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--filter", default=None,
                         help="BGPStream filter pushed down into the read "
                              "path, e.g. 'peer 25091 and ipversion 6'")
+    detect.add_argument("--on-error", choices=["strict", "skip", "quarantine"],
+                        default=None,
+                        help="poison-record policy: fail fast, skip and "
+                             "count, or skip and preserve raw bytes in a "
+                             ".quarantine sidecar")
 
     index = sub.add_parser(
         "index", help="write sidecar file indexes for an existing archive")
@@ -104,6 +110,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stop after N records (resume later)")
     ingest.add_argument("--workers", type=int, default=1,
                         help="decode archive files on N worker processes")
+    ingest.add_argument("--on-error",
+                        choices=["strict", "skip", "quarantine"],
+                        default=None,
+                        help="poison-record policy for the decode path")
+    ingest.add_argument("--supervise", action="store_true",
+                        help="run under the crash-restarting supervisor "
+                             "(restores from the checkpoint after a crash)")
+    ingest.add_argument("--batch-records", type=int, default=500,
+                        help="records per supervised batch (heartbeat unit)")
+    ingest.add_argument("--max-restarts", type=int, default=5,
+                        help="consecutive crashes tolerated before the "
+                             "supervisor gives up")
+    ingest.add_argument("--serve-port", type=int, default=None,
+                        help="with --supervise: also serve /healthz and "
+                             "/metrics on this port while ingesting")
+
+    doctor = obs.add_parser(
+        "doctor", help="fsck an event store: verify and repair segments")
+    doctor.add_argument("store", help="event store directory")
+    doctor.add_argument("--check", action="store_true",
+                        help="report only; do not repair anything")
 
     serve = obs.add_parser(
         "serve", help="serve the JSON/metrics API over an event store")
@@ -273,10 +300,17 @@ def _cmd_detect(args) -> int:
         except FilterError as exc:
             print(f"bad --filter: {exc}", file=sys.stderr)
             return 2
-    archive = Archive(args.archive, workers=args.workers)
+    archive = Archive(args.archive, workers=args.workers,
+                      error_policy=args.on_error)
     records = list(archive.iter_updates(
         start, end + args.threshold_minutes * MINUTE + 3600,
         record_filter=record_filter))
+    decode = archive.decode_stats
+    if not decode.clean:
+        print(f"decode: {decode.records_skipped} record(s) skipped, "
+              f"{decode.bytes_quarantined} byte(s) quarantined, "
+              f"{decode.files_with_errors} file(s) with errors",
+              file=sys.stderr)
     config = DetectorConfig(threshold=args.threshold_minutes * MINUTE,
                             dedup=not args.no_dedup)
     result = ZombieDetector(config).detect(records, intervals)
@@ -308,6 +342,7 @@ def _cmd_observatory(args) -> int:
         "serve": _cmd_observatory_serve,
         "query": _cmd_observatory_query,
         "compact": _cmd_observatory_compact,
+        "doctor": _cmd_observatory_doctor,
     }
     return handlers[args.observatory_command](args)
 
@@ -346,15 +381,22 @@ def _cmd_observatory_ingest(args) -> int:
     scenario = _load_scenario_for(args)
     checkpoint = Path(args.checkpoint) if args.checkpoint \
         else Path(args.store) / "checkpoint.json"
-    archive = Archive(args.archive, workers=args.workers)
     store = EventStore(args.store)
-    ingest = ObservatoryIngest(
-        archive, store, checkpoint, scenario["intervals"],
-        scenario["start"], scenario["end"],
-        threshold=scenario.get("threshold", 90 * 60),
-        quiet=scenario.get("quiet", 120 * 60),
-        excluded_peers=scenario.get("excluded_peers", frozenset()),
-        checkpoint_every=args.checkpoint_every)
+
+    def make_ingest() -> ObservatoryIngest:
+        return ObservatoryIngest(
+            Archive(args.archive, workers=args.workers,
+                    error_policy=args.on_error),
+            store, checkpoint, scenario["intervals"],
+            scenario["start"], scenario["end"],
+            threshold=scenario.get("threshold", 90 * 60),
+            quiet=scenario.get("quiet", 120 * 60),
+            excluded_peers=scenario.get("excluded_peers", frozenset()),
+            checkpoint_every=args.checkpoint_every)
+
+    if args.supervise:
+        return _run_supervised(args, store, make_ingest)
+    ingest = make_ingest()
     ingested = ingest.run(max_records=args.max_records)
     if args.max_records is None:
         ingest.finish()
@@ -367,7 +409,71 @@ def _cmd_observatory_ingest(args) -> int:
           f"{stats['dumps_ingested']} dumps); "
           f"{stats['events_appended']} events in store; "
           f"finished={stats['finished']}")
+    _print_decode_stats(ingest.archive)
     return 0
+
+
+def _print_decode_stats(archive) -> None:
+    decode = archive.decode_stats
+    if not decode.clean:
+        print(f"decode: {decode.records_skipped} record(s) skipped, "
+              f"{decode.bytes_quarantined} byte(s) quarantined, "
+              f"{decode.resyncs} resync(s), "
+              f"{decode.files_with_errors} file(s) with errors",
+              file=sys.stderr)
+
+
+def _run_supervised(args, store, make_ingest) -> int:
+    from repro.observatory import ObservatoryServer, ObservatorySupervisor
+
+    supervisor = ObservatorySupervisor(
+        make_ingest, batch_records=args.batch_records,
+        max_restarts=args.max_restarts)
+    server = None
+    if args.serve_port is not None:
+        server = ObservatoryServer(store, port=args.serve_port,
+                                   supervisor=supervisor).start()
+        print(f"observatory daemon serving on {server.url}")
+    try:
+        ok = supervisor.run()
+    finally:
+        if server is not None:
+            server.stop()
+        store.close()
+    stats = supervisor.stats()
+    print(f"supervised ingest: state={stats['state']} "
+          f"restarts={stats['restarts']} batches={stats['batches']} "
+          f"records_skipped={stats['records_skipped']} "
+          f"bytes_quarantined={stats['bytes_quarantined']} "
+          f"finished={stats['finished']}")
+    if stats["last_error"]:
+        print(f"last error: {stats['last_error']}", file=sys.stderr)
+    if supervisor.ingest is not None:
+        _print_decode_stats(supervisor.ingest.archive)
+    return 0 if ok else 1
+
+
+def _cmd_observatory_doctor(args) -> int:
+    from repro.observatory import fsck
+
+    report = fsck(args.store, repair=not args.check)
+    mode = "check" if args.check else "repair"
+    print(f"doctor ({mode}): {report.segments_checked} segment(s), "
+          f"{report.events_checked} event(s) checked")
+    for issue in report.issues:
+        print(f"  ISSUE: {issue}", file=sys.stderr)
+    for action in report.actions:
+        print(f"  fixed: {action}")
+    if report.clean:
+        print("store is clean")
+        return 0
+    if report.unrecoverable:
+        print(f"unrecoverable damage: {report.events_lost} event(s) lost",
+              file=sys.stderr)
+        return 1
+    # Issues found; in repair mode they were all fixed without loss —
+    # unless nothing could be done at all (e.g. the path is not a store).
+    return 1 if args.check or not report.actions else 0
 
 
 def _cmd_observatory_serve(args) -> int:

@@ -15,6 +15,15 @@ from repro.mrt.files import (
     read_updates_file,
     write_updates_file,
 )
+from repro.mrt.resilient import (
+    DecodeStats,
+    ErrorPolicy,
+    QuarantineWriter,
+    ResilientReader,
+    plausible_header,
+    quarantine_path,
+    read_quarantine,
+)
 from repro.mrt.tabledump import (
     RibDump,
     RibEntry,
@@ -35,6 +44,13 @@ __all__ = [
     "iter_raw_records",
     "read_updates_file",
     "write_updates_file",
+    "DecodeStats",
+    "ErrorPolicy",
+    "QuarantineWriter",
+    "ResilientReader",
+    "plausible_header",
+    "quarantine_path",
+    "read_quarantine",
     "RibDump",
     "RibEntry",
     "RibPeer",

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import gzip
 import struct
+import zlib
 from pathlib import Path
-from typing import Iterable, Iterator, Union
+from typing import Iterable, Iterator, Optional, Union
 
 from repro.bgp.messages import Record, record_sort_key
 from repro.mrt.bgp4mp import (
@@ -23,6 +24,7 @@ from repro.mrt.bgp4mp import (
 )
 from repro.mrt.constants import MRT_BGP4MP, MRT_TABLE_DUMP_V2
 from repro.bgp.messages import StateRecord, UpdateRecord
+from repro.mrt.resilient import DecodeStats, ErrorPolicy, ResilientReader
 
 __all__ = ["write_updates_file", "read_updates_file", "iter_raw_records",
            "MRTDecodeError"]
@@ -66,28 +68,47 @@ def iter_raw_records(path: Union[str, Path]) -> Iterator[tuple]:
     body — so a multi-megabyte archive file never has to be held in
     memory as one contiguous buffer.
     """
-    with gzip.open(path, "rb") as handle:
-        while True:
-            head = handle.read(12)
-            if not head:
-                return
-            if len(head) < 12:
-                raise MRTDecodeError(f"{path}: trailing garbage ({len(head)} bytes)")
-            header = decode_mrt_header(head)
-            body = handle.read(header.length)
-            if len(body) != header.length:
-                raise MRTDecodeError(f"{path}: truncated record")
-            yield header, body
+    try:
+        with gzip.open(path, "rb") as handle:
+            while True:
+                head = handle.read(12)
+                if not head:
+                    return
+                if len(head) < 12:
+                    raise MRTDecodeError(
+                        f"{path}: trailing garbage ({len(head)} bytes)")
+                header = decode_mrt_header(head)
+                body = handle.read(header.length)
+                if len(body) != header.length:
+                    raise MRTDecodeError(f"{path}: truncated record")
+                yield header, body
+    except (EOFError, OSError, zlib.error) as exc:
+        # Corrupted/foreign compressed stream: carry the file path so
+        # the serial and process-pool paths report identically.
+        raise MRTDecodeError(f"{path}: {exc}") from exc
 
 
 def read_updates_file(path: Union[str, Path], collector: str,
                       strict: bool = False,
-                      record_filter=None) -> Iterator[Record]:
+                      record_filter=None,
+                      error_policy: Optional[str] = None,
+                      stats: Optional[DecodeStats] = None
+                      ) -> Iterator[Record]:
     """Decode a gzip MRT updates file into Update/State records.
 
     With ``strict=False`` (default), records that fail to decode are
     skipped — the behaviour a production pipeline needs against corrupted
     archive files.  With ``strict=True`` the error propagates.
+
+    ``error_policy`` selects the full containment layer
+    (:mod:`repro.mrt.resilient`) instead of the legacy flag:
+
+    ``"strict"``      any corruption raises :class:`MRTDecodeError`
+                      with file context (fail-fast batch mode);
+    ``"skip"``        bad records and garbage runs are contained via
+                      header resync and counted into ``stats``;
+    ``"quarantine"``  like ``skip``, plus the raw bad bytes are
+                      preserved in a ``<name>.quarantine`` sidecar.
 
     ``record_filter`` (a :class:`repro.ris.pushdown.RecordFilter`) pushes
     stream-level filtering down to decode time: peer clauses are tested
@@ -95,6 +116,13 @@ def read_updates_file(path: Union[str, Path], collector: str,
     fields *before* path attributes are decoded, and only records for
     which ``record_filter.matches_record`` holds are yielded.
     """
+    if error_policy is not None:
+        policy = ErrorPolicy.validate(error_policy)
+        if policy != ErrorPolicy.STRICT:
+            yield from _read_updates_tolerant(Path(path), collector, policy,
+                                              record_filter, stats)
+            return
+        strict = True
     for header, body in iter_raw_records(path):
         if header.mrt_type != MRT_BGP4MP:
             if strict:
@@ -110,9 +138,43 @@ def read_updates_file(path: Union[str, Path], collector: str,
             if strict:
                 raise MRTDecodeError(f"{path}: {exc}") from exc
             continue
+        if stats is not None:
+            stats.records_decoded += 1
         if record_filter is None:
             yield from records
         else:
             for record in records:
                 if record_filter.matches_record(record):
                     yield record
+
+
+def _read_updates_tolerant(path: Path, collector: str, policy: str,
+                           record_filter, stats: Optional[DecodeStats]
+                           ) -> Iterator[Record]:
+    """The ``skip``/``quarantine`` decode path: every per-record failure
+    is contained, counted, and (under ``quarantine``) preserved."""
+    with ResilientReader(path, policy, stats=stats) as reader:
+        for offset, header, body in reader.iter_raw():
+            if header.mrt_type != MRT_BGP4MP:
+                # A RIB or foreign record inside an updates file is
+                # poison for this stream: contain it like any other.
+                reader.quarantine_record(offset, header, body)
+                continue
+            try:
+                if record_filter is not None and not prematch_bgp4mp(
+                        header, body, record_filter):
+                    continue
+                records = decode_bgp4mp(header, body, collector)
+            except Exception:
+                # Containment is the point: any decode failure — struct
+                # underrun, bad marker, invalid enum, short body — costs
+                # exactly this record.
+                reader.quarantine_record(offset, header, body)
+                continue
+            reader.stats.records_decoded += 1
+            if record_filter is None:
+                yield from records
+            else:
+                for record in records:
+                    if record_filter.matches_record(record):
+                        yield record

@@ -12,6 +12,12 @@ miniature:
   store the ingest writes and the query layer reads;
 * :mod:`repro.observatory.server` / :mod:`repro.observatory.client`
   expose the store over a JSON HTTP API with Prometheus-style metrics;
+* :mod:`repro.observatory.supervisor` wraps the ingest in a watchdog
+  that restarts it from the last checkpoint across crashes and exposes
+  a healthy/degraded/stalled state machine;
+* :mod:`repro.observatory.doctor` is the store fsck behind
+  ``observatory doctor``: torn/bit-rotted/orphaned segment detection
+  and manifest repair;
 * :mod:`repro.observatory.synthetic` builds a small scripted campaign
   archive so the whole loop can be exercised without real RIS data.
 """
@@ -24,11 +30,14 @@ from repro.observatory.checkpoint import (
 from repro.observatory.client import (
     ObservatoryClient,
     ObservatoryError,
+    ObservatoryProtocolError,
     ObservatoryUnreachable,
 )
+from repro.observatory.doctor import FsckReport, fsck
 from repro.observatory.ingest import ObservatoryIngest
 from repro.observatory.server import ObservatoryServer
-from repro.observatory.store import EventStore
+from repro.observatory.store import EventStore, file_sha256
+from repro.observatory.supervisor import ObservatorySupervisor
 from repro.observatory.synthetic import (
     SyntheticScenario,
     build_synthetic_archive,
@@ -38,13 +47,18 @@ from repro.observatory.synthetic import (
 __all__ = [
     "CHECKPOINT_VERSION",
     "EventStore",
+    "FsckReport",
     "ObservatoryClient",
     "ObservatoryError",
     "ObservatoryIngest",
+    "ObservatoryProtocolError",
+    "ObservatorySupervisor",
     "ObservatoryUnreachable",
     "ObservatoryServer",
     "SyntheticScenario",
     "build_synthetic_archive",
+    "file_sha256",
+    "fsck",
     "load_checkpoint",
     "load_scenario",
     "save_checkpoint",

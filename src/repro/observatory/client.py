@@ -6,6 +6,9 @@ resets, timeouts, 5xx) are retried, API-level errors (4xx with a JSON
 body) raise :class:`ObservatoryError` immediately, and a server that
 stays unreachable after the retry budget raises
 :class:`ObservatoryUnreachable` with the attempt count and last cause.
+A 200 response whose body is not valid JSON (a misconfigured proxy, a
+half-written error page) raises :class:`ObservatoryProtocolError` —
+callers never see a bare ``json.JSONDecodeError``.
 """
 
 from __future__ import annotations
@@ -19,7 +22,8 @@ from urllib.error import HTTPError, URLError
 from urllib.parse import quote, urlencode
 from urllib.request import urlopen
 
-__all__ = ["ObservatoryClient", "ObservatoryError", "ObservatoryUnreachable"]
+__all__ = ["ObservatoryClient", "ObservatoryError",
+           "ObservatoryProtocolError", "ObservatoryUnreachable"]
 
 
 class ObservatoryError(Exception):
@@ -29,6 +33,20 @@ class ObservatoryError(Exception):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+
+
+class ObservatoryProtocolError(Exception):
+    """A response that is not valid observatory protocol — e.g. a 200
+    whose body is not JSON.  Keeps the offending body (truncated) for
+    the error message without letting ``json.JSONDecodeError`` escape."""
+
+    def __init__(self, url: str, body: str, cause: Exception):
+        snippet = body[:120] + ("…" if len(body) > 120 else "")
+        super().__init__(f"{url}: malformed response body: {cause} "
+                         f"(body: {snippet!r})")
+        self.url = url
+        self.body = body
+        self.cause = cause
 
 
 class ObservatoryUnreachable(Exception):
@@ -71,7 +89,12 @@ class ObservatoryClient:
             try:
                 with urlopen(url, timeout=self.timeout) as response:
                     body = response.read().decode("utf-8")
-                return body if raw else json.loads(body)
+                if raw:
+                    return body
+                try:
+                    return json.loads(body)
+                except ValueError as exc:
+                    raise ObservatoryProtocolError(url, body, exc) from exc
             except HTTPError as exc:
                 detail = exc.read().decode("utf-8", "replace")
                 try:

@@ -1,0 +1,370 @@
+"""Event-store fsck: verify, and where possible repair, a store on disk.
+
+The store's own open-time recovery only handles the *expected* crash
+artefact (a partially written trailing line in the active segment).
+The doctor handles the rest of the failure model:
+
+* **torn segments** — partial trailing lines, in any segment;
+* **bit rot** — a sealed segment whose bytes no longer match the
+  sha256 recorded in the manifest at seal time;
+* **orphaned files** — segment files on disk the manifest does not
+  know about (artefacts of an interrupted truncate/compact);
+* **manifest drift** — counts/indexes that disagree with segment
+  contents, missing seal hashes, seq discontinuities between segments,
+  or a manifest that is itself unreadable.
+
+Repair policy: consistency over completeness.  Torn tails are cut
+back to the last complete line; orphans are moved aside (renamed with
+an ``.orphan`` suffix, never deleted); drifted manifest entries are
+rebuilt from segment contents; an unreadable manifest is rebuilt from
+the segment files themselves.  Damage to *sealed* bytes — bit rot or a
+missing sealed segment — cannot be undone, so repair truncates the
+store at the first damaged seq to restore a consistent prefix, and the
+run reports the loss: :func:`fsck` exits the CLI nonzero whenever
+events were (or would be) lost.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.observatory.store import (
+    MANIFEST_VERSION,
+    _complete_lines,
+    _Segment,
+    file_sha256,
+)
+
+__all__ = ["FsckReport", "fsck"]
+
+_SEGMENT_RE = re.compile(r"^seg-(\d{8})\.jsonl$")
+
+
+@dataclass
+class FsckReport:
+    """Everything one fsck pass found (and, under repair, did)."""
+
+    root: str
+    repair: bool
+    segments_checked: int = 0
+    events_checked: int = 0
+    #: issue strings, in discovery order — empty means the store is clean.
+    issues: list[str] = field(default_factory=list)
+    #: repair actions taken (repair mode only).
+    actions: list[str] = field(default_factory=list)
+    torn_segments: int = 0
+    bitrot_segments: int = 0
+    missing_segments: int = 0
+    orphan_files: int = 0
+    drifted_entries: int = 0
+    manifest_rebuilt: bool = False
+    #: events dropped (repair) or doomed (check) by unrecoverable damage.
+    events_lost: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.issues
+
+    @property
+    def unrecoverable(self) -> bool:
+        """True when event data was (or would be) lost — the condition
+        the doctor CLI turns into a nonzero exit."""
+        return self.events_lost > 0
+
+    def issue(self, text: str) -> None:
+        self.issues.append(text)
+
+    def action(self, text: str) -> None:
+        self.actions.append(text)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "root": self.root,
+            "repair": self.repair,
+            "clean": self.clean,
+            "unrecoverable": self.unrecoverable,
+            "segments_checked": self.segments_checked,
+            "events_checked": self.events_checked,
+            "torn_segments": self.torn_segments,
+            "bitrot_segments": self.bitrot_segments,
+            "missing_segments": self.missing_segments,
+            "orphan_files": self.orphan_files,
+            "drifted_entries": self.drifted_entries,
+            "manifest_rebuilt": self.manifest_rebuilt,
+            "events_lost": self.events_lost,
+            "issues": list(self.issues),
+            "actions": list(self.actions),
+        }
+
+
+def _scan_segment(path: Path) -> tuple[Optional[_Segment], list[int], int]:
+    """Parse one segment file: returns (rebuilt entry, seqs, torn bytes).
+
+    The entry is built purely from the file's complete lines; ``None``
+    when the file has no parseable events at all.  ``torn`` is how many
+    trailing bytes are not part of a complete, parseable line.
+    """
+    data = path.read_bytes()
+    lines, complete = _complete_lines(data)
+    events = []
+    good_end = 0
+    offset = 0
+    for line in lines:
+        try:
+            event = json.loads(line)
+            if not isinstance(event, dict) or "seq" not in event:
+                raise ValueError("not an event object")
+        except ValueError:
+            break  # treat everything from the first bad line as torn
+        events.append(event)
+        offset += len(line) + 1
+        good_end = offset
+    torn = len(data) - good_end
+    if not events:
+        return None, [], torn
+    match = _SEGMENT_RE.match(path.name)
+    first_seq = int(match.group(1)) if match else events[0]["seq"]
+    entry = _Segment(name=path.name, first_seq=first_seq)
+    for event in events:
+        entry.note(event)
+    return entry, [event["seq"] for event in events], torn
+
+
+def _truncate_file(path: Path, keep: int) -> None:
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+
+
+def _write_manifest(root: Path, segments: list[_Segment],
+                    next_seq: int) -> None:
+    import os
+    payload = {
+        "version": MANIFEST_VERSION,
+        "next_seq": next_seq,
+        "segments": [segment.to_json() for segment in segments],
+    }
+    tmp = root / "manifest.json.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, root / "manifest.json")
+
+
+def _load_manifest(root: Path, report: FsckReport
+                   ) -> Optional[tuple[list[_Segment], int]]:
+    manifest = root / "manifest.json"
+    if not manifest.exists():
+        report.issue("manifest.json is missing")
+        return None
+    try:
+        with open(manifest, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported manifest version {payload.get('version')!r}")
+        segments = [_Segment.from_json(s) for s in payload["segments"]]
+        return segments, payload["next_seq"]
+    except (ValueError, KeyError, TypeError) as exc:
+        report.issue(f"manifest.json is unreadable: {exc}")
+        return None
+
+
+def fsck(root: Union[str, Path], repair: bool = False) -> FsckReport:
+    """Check (and with ``repair=True`` fix) the store under ``root``.
+
+    Always safe on a store no writer currently has open.  Check mode
+    never touches the disk; repair mode performs the policy described
+    in the module docstring and leaves a store that
+    :class:`~repro.observatory.store.EventStore` opens cleanly.
+    """
+    root = Path(root)
+    report = FsckReport(root=str(root), repair=repair)
+    if not root.is_dir():
+        report.issue(f"not a directory: {root}")
+        return report
+
+    loaded = _load_manifest(root, report)
+    if loaded is None:
+        return _rebuild_from_files(root, report)
+    manifest_segments, next_seq = loaded
+    known = {segment.name for segment in manifest_segments}
+
+    # Orphaned segment files: on disk, unknown to the manifest.
+    for path in sorted(root.glob("seg-*.jsonl")):
+        if path.name in known:
+            continue
+        report.orphan_files += 1
+        report.issue(f"orphaned segment file: {path.name}")
+        if repair:
+            path.rename(path.with_name(path.name + ".orphan"))
+            report.action(f"moved {path.name} aside as {path.name}.orphan")
+
+    surviving: list[_Segment] = []
+    damaged_from: Optional[int] = None  # seq where the consistent prefix ends
+    expected_seq = None
+    for position, entry in enumerate(manifest_segments):
+        report.segments_checked += 1
+        is_active = position == len(manifest_segments) - 1 \
+            and not entry.sealed
+        path = root / entry.name
+        if expected_seq is not None and entry.first_seq != expected_seq:
+            report.issue(
+                f"seq gap before {entry.name}: expected first_seq "
+                f"{expected_seq}, manifest says {entry.first_seq}")
+            damaged_from = expected_seq
+            break
+        if not path.exists():
+            if entry.count == 0 and is_active:
+                # A crash between sealing and the first append of a new
+                # segment legitimately leaves an empty active entry.
+                surviving.append(entry)
+                expected_seq = entry.first_seq
+                continue
+            report.missing_segments += 1
+            report.issue(f"missing segment file: {entry.name} "
+                         f"({entry.count} events)")
+            damaged_from = entry.first_seq
+            break
+        if entry.sealed and entry.sha256 is not None:
+            actual = file_sha256(path)
+            if actual != entry.sha256:
+                report.bitrot_segments += 1
+                report.issue(
+                    f"bit rot in sealed segment {entry.name}: sha256 "
+                    f"{actual[:12]}… != manifest {entry.sha256[:12]}…")
+                damaged_from = entry.first_seq
+                break
+        rebuilt, seqs, torn = _scan_segment(path)
+        if torn:
+            report.torn_segments += 1
+            report.issue(f"torn segment {entry.name}: {torn} trailing "
+                         f"bytes are not a complete event line")
+            if entry.sealed:
+                # A sealed segment must be complete; losing its tail is
+                # real damage (its hash, if any, already failed above).
+                damaged_from = (seqs[-1] + 1 if seqs else entry.first_seq)
+                if repair:
+                    _truncate_file(path, path.stat().st_size - torn)
+                    report.action(f"cut {torn} torn bytes from {entry.name}")
+                if rebuilt is not None:
+                    rebuilt.sealed = False
+                    surviving.append(rebuilt)
+                break
+            if repair:
+                _truncate_file(path, path.stat().st_size - torn)
+                report.action(f"cut {torn} torn bytes from {entry.name}")
+        if rebuilt is None:
+            rebuilt = _Segment(name=entry.name, first_seq=entry.first_seq)
+        report.events_checked += rebuilt.count
+        if seqs and (seqs[0] != entry.first_seq
+                     or seqs != list(range(seqs[0], seqs[0] + len(seqs)))):
+            report.issue(f"non-contiguous seqs inside {entry.name}")
+            damaged_from = entry.first_seq
+            break
+        expected = entry.to_json()
+        rebuilt.sealed = entry.sealed
+        rebuilt.sha256 = entry.sha256
+        if not torn and rebuilt.to_json() != expected:
+            report.drifted_entries += 1
+            report.issue(f"manifest entry for {entry.name} does not match "
+                         f"segment contents")
+        if entry.sealed and entry.sha256 is None:
+            report.issue(f"sealed segment {entry.name} has no recorded "
+                         f"sha256")
+            if repair:
+                rebuilt.sha256 = file_sha256(path)
+                report.action(f"recorded sha256 for {entry.name}")
+        surviving.append(rebuilt)
+        expected_seq = rebuilt.first_seq + rebuilt.count
+
+    if damaged_from is not None:
+        doomed = max(0, next_seq - damaged_from)
+        report.events_lost += doomed
+        if repair:
+            kept_names = {segment.name for segment in surviving}
+            for entry in manifest_segments:
+                if entry.first_seq >= damaged_from \
+                        and entry.name not in kept_names:
+                    stale = root / entry.name
+                    if stale.exists():
+                        stale.rename(
+                            stale.with_name(stale.name + ".orphan"))
+                        report.action(f"moved damaged {entry.name} aside")
+            next_seq = damaged_from
+            report.action(f"truncated store at seq {damaged_from} "
+                          f"({doomed} events lost)")
+    else:
+        tail_end = (surviving[-1].first_seq + surviving[-1].count
+                    if surviving else 0)
+        if next_seq != tail_end:
+            report.issue(f"manifest next_seq {next_seq} != end of last "
+                         f"segment {tail_end}")
+            if repair:
+                report.action(f"reset next_seq to {tail_end}")
+            next_seq = tail_end
+
+    if repair and not report.clean:
+        if surviving:
+            surviving[-1].sealed = False
+            surviving[-1].sha256 = None
+        _write_manifest(root, surviving, next_seq)
+        report.action("rewrote manifest.json")
+    return report
+
+
+def _rebuild_from_files(root: Path, report: FsckReport) -> FsckReport:
+    """Manifest gone or unreadable: reconstruct it from the segment
+    files.  Integrity of sealed history can no longer be verified (the
+    seal hashes died with the manifest), which the report says out loud."""
+    segments: list[_Segment] = []
+    expected_seq: Optional[int] = None
+    for path in sorted(root.glob("seg-*.jsonl")):
+        report.segments_checked += 1
+        entry, seqs, torn = _scan_segment(path)
+        if torn:
+            report.torn_segments += 1
+            report.issue(f"torn segment {path.name}: {torn} trailing bytes")
+            if report.repair:
+                _truncate_file(path, path.stat().st_size - torn)
+                report.action(f"cut {torn} torn bytes from {path.name}")
+        if entry is None:
+            continue
+        if expected_seq is not None and entry.first_seq != expected_seq:
+            report.issue(f"seq gap before {path.name}: {expected_seq} "
+                         f"expected, file starts at {entry.first_seq}")
+            report.events_lost += entry.count  # history after the gap
+            if report.repair:
+                path.rename(path.with_name(path.name + ".orphan"))
+                report.action(f"moved post-gap {path.name} aside")
+            continue
+        report.events_checked += entry.count
+        if seqs[0] != entry.first_seq \
+                or seqs != list(range(seqs[0], seqs[0] + len(seqs))):
+            report.issue(f"non-contiguous seqs inside {path.name}")
+            report.events_lost += entry.count
+            if report.repair:
+                path.rename(path.with_name(path.name + ".orphan"))
+                report.action(f"moved inconsistent {path.name} aside")
+            continue
+        entry.sealed = True
+        if report.repair:
+            entry.sha256 = file_sha256(path)
+        segments.append(entry)
+        expected_seq = entry.first_seq + entry.count
+    report.issue("sealed-history integrity is unverifiable without the "
+                 "original manifest hashes")
+    if report.repair:
+        next_seq = (segments[-1].first_seq + segments[-1].count
+                    if segments else 0)
+        if segments:
+            segments[-1].sealed = False
+            segments[-1].sha256 = None
+        _write_manifest(root, segments, next_seq)
+        report.manifest_rebuilt = True
+        report.action("rebuilt manifest.json from segment files")
+    return report

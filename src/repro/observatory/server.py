@@ -97,10 +97,11 @@ class ObservatoryServer:
     """
 
     def __init__(self, store: EventStore, host: str = "127.0.0.1",
-                 port: int = 0, ingest=None, archive=None):
+                 port: int = 0, ingest=None, archive=None, supervisor=None):
         self.store = store
         self.ingest = ingest
         self.archive = archive
+        self.supervisor = supervisor
         self.requests_served = 0
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.observatory = self  # type: ignore[attr-defined]
@@ -153,10 +154,19 @@ class ObservatoryServer:
 
     def _healthz(self) -> dict[str, Any]:
         stats = self.store.stats()
-        return {"status": "ok", "events": stats["next_seq"],
+        body = {"status": "ok", "events": stats["next_seq"],
                 "segments": stats["segments"],
                 "ingest_finished": (self.ingest.finished
                                     if self.ingest is not None else None)}
+        if self.supervisor is not None:
+            state = self.supervisor.state
+            body["ingest_state"] = state
+            body["supervisor"] = self.supervisor.stats()
+            if state != "healthy":
+                # Liveness stays "ok" while degraded (the daemon is
+                # making progress); a stalled ingest is a real outage.
+                body["status"] = "ok" if state == "degraded" else "stalled"
+        return body
 
     def _outbreaks(self, params: dict) -> dict[str, Any]:
         events = list(self.store.events(
@@ -242,6 +252,23 @@ class ObservatoryServer:
             gauge("observatory_ingest_pending_evaluations",
                   ingest["pending_evaluations"],
                   "Beacon intervals awaiting their evaluation deadline.")
+        if self.supervisor is not None:
+            sup = self.supervisor.stats()
+            gauge("observatory_supervisor_restarts_total", sup["restarts"],
+                  "Ingest engine restarts after crashes.")
+            gauge("observatory_ingest_records_skipped_total",
+                  sup["records_skipped"],
+                  "Poison records skipped by the tolerant decoder.")
+            gauge("observatory_ingest_bytes_quarantined_total",
+                  sup["bytes_quarantined"],
+                  "Raw bytes preserved in quarantine sidecars.")
+            gauge("observatory_ingest_lag_seconds", sup["ingest_lag_seconds"],
+                  "Window time remaining ahead of the update watermark.")
+            for state in ("healthy", "degraded", "stalled"):
+                gauge("observatory_ingest_state",
+                      1 if sup["state"] == state else 0,
+                      "Supervised ingest health state (one-hot).",
+                      labels=f'{{state="{state}"}}')
         if self.archive is not None:
             stats = self.archive.stats()
             cache = stats["cache"]

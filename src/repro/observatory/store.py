@@ -24,13 +24,14 @@ while preserving the surviving events' bytes and seqs.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Optional, Sequence, Union
 
-__all__ = ["EventStore", "MANIFEST_VERSION"]
+__all__ = ["EventStore", "MANIFEST_VERSION", "file_sha256"]
 
 MANIFEST_VERSION = 1
 
@@ -55,6 +56,10 @@ class _Segment:
     prefixes: Optional[set[str]] = field(default_factory=set)
     peers: Optional[set[str]] = field(default_factory=set)
     sealed: bool = False
+    #: Content hash, recorded at seal time; None while the segment is
+    #: active (its bytes are still growing).  ``observatory doctor``
+    #: verifies it to catch bit rot in sealed segments.
+    sha256: Optional[str] = None
 
     def note(self, event: dict[str, Any]) -> None:
         """Fold one event into the index."""
@@ -86,6 +91,7 @@ class _Segment:
             "prefixes": sorted(self.prefixes) if self.prefixes is not None else None,
             "peers": sorted(self.peers) if self.peers is not None else None,
             "sealed": self.sealed,
+            "sha256": self.sha256,
         }
 
     @classmethod
@@ -101,6 +107,7 @@ class _Segment:
                       if payload["prefixes"] is not None else None),
             peers=set(payload["peers"]) if payload["peers"] is not None else None,
             sealed=payload["sealed"],
+            sha256=payload.get("sha256"),
         )
 
     def may_match(self, kinds: Optional[frozenset],
@@ -125,6 +132,15 @@ class _Segment:
 
 def _segment_name(first_seq: int) -> str:
     return f"seg-{first_seq:08d}.jsonl"
+
+
+def file_sha256(path: Union[str, Path]) -> str:
+    """Hex sha256 of a file's bytes (streamed)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def _complete_lines(data: bytes) -> tuple[list[bytes], int]:
@@ -213,6 +229,7 @@ class EventStore:
             rebuilt.note(event)
             last_seq = event["seq"]
         rebuilt.sealed = active.sealed
+        rebuilt.sha256 = active.sha256 if active.sealed else None
         self._segments[-1] = rebuilt
         self._next_seq = last_seq + 1
 
@@ -242,11 +259,14 @@ class EventStore:
         active = self._segments[-1] if self._segments else None
         if active is None or active.sealed \
                 or active.count >= self.segment_max_records:
-            if active is not None and not active.sealed:
-                active.sealed = True
             if self._handle is not None:
                 self._handle.close()
                 self._handle = None
+            if active is not None and not active.sealed:
+                active.sealed = True
+                path = self.root / active.name
+                if path.exists():
+                    active.sha256 = file_sha256(path)
             self._open_segment()
             active = self._segments[-1]
         elif self._handle is None:
@@ -362,6 +382,7 @@ class EventStore:
             kept.append(rebuilt)
         if kept:
             kept[-1].sealed = False  # tail segment takes appends again
+            kept[-1].sha256 = None
         self._segments = kept
         self._next_seq = next_seq
         self._sync_manifest()
@@ -409,9 +430,11 @@ class EventStore:
                                   + "\n").encode("utf-8"))
                     segment.note(event)
             segment.sealed = True
+            segment.sha256 = file_sha256(self.root / segment.name)
             self._segments.append(segment)
         if self._segments:
             self._segments[-1].sealed = False
+            self._segments[-1].sha256 = None
         self._sync_manifest()
         return {"kept": len(survivors), "dropped": dropped}
 

@@ -1,0 +1,245 @@
+"""Crash-tolerant driver for a checkpointed ingest.
+
+:class:`ObservatoryIngest` is deterministic and checkpointed but not
+crash-*tolerant*: an exception escaping the decode path (a poisoned
+archive file under the strict policy, a torn gzip stream, a bug) kills
+the ingest loop, and whatever drove it has to notice, rebuild the
+engine from the last checkpoint and resume.  The supervisor is that
+driver:
+
+* batches of ``batch_records`` are pulled through the engine, each one
+  stamping a watchdog heartbeat (injectable clock, so tests freeze it);
+* a crash — in the engine or in the caller's ``on_batch`` hook — is
+  caught, counted and logged; the engine is rebuilt via the caller's
+  factory (which restores from the checkpoint file) after an
+  exponential backoff with seeded jitter, so a flapping archive does
+  not spin a hot crash loop;
+* ``max_restarts`` consecutive failures without forward progress stop
+  the loop — better a dead daemon than one silently rewriting the same
+  poisoned window forever.
+
+The observable health is a three-state machine:
+
+``healthy``     running (or finished) with no restarts and no records
+                skipped by the tolerant decoder;
+``degraded``    forward progress, but the run has survived restarts
+                and/or the decoder has skipped or quarantined records;
+``stalled``     the heartbeat is older than ``heartbeat_timeout``, or
+                the supervisor exhausted its restart budget.
+
+:class:`~repro.observatory.server.ObservatoryServer` surfaces the state
+in ``/healthz`` and exports the counters (records skipped, bytes
+quarantined, restarts, ingest lag) on ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Callable, Optional
+
+from repro.mrt.resilient import DecodeStats
+from repro.observatory.ingest import ObservatoryIngest
+
+__all__ = ["ObservatorySupervisor"]
+
+#: States :attr:`ObservatorySupervisor.state` can report.
+STATES = ("healthy", "degraded", "stalled")
+
+
+class ObservatorySupervisor:
+    """Run an ingest to completion, restarting it across crashes.
+
+    ``ingest_factory`` builds a fresh :class:`ObservatoryIngest` bound
+    to the same checkpoint path every time it is called — constructing
+    the engine *is* the recovery (the checkpoint restore rolls the
+    store back to the last durable position).  ``on_batch``, when
+    given, runs after every batch with the live engine; exceptions it
+    raises are treated exactly like engine crashes (the chaos harness
+    uses this to corrupt archive files mid-run and to force restarts).
+
+    ``clock`` and ``sleep`` are injectable for tests; the jitter RNG is
+    seeded, so a given crash history always produces the same backoff
+    schedule.
+    """
+
+    def __init__(self, ingest_factory: Callable[[], ObservatoryIngest], *,
+                 batch_records: int = 500,
+                 max_restarts: int = 5,
+                 backoff: float = 1.0,
+                 backoff_cap: float = 60.0,
+                 jitter: float = 0.5,
+                 heartbeat_timeout: float = 300.0,
+                 seed: int = 0,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep):
+        self.ingest_factory = ingest_factory
+        self.batch_records = batch_records
+        self.max_restarts = max_restarts
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
+        self.heartbeat_timeout = heartbeat_timeout
+        self._rng = random.Random(seed)
+        self._clock = clock
+        self._sleep = sleep
+
+        self.ingest: Optional[ObservatoryIngest] = None
+        self.restarts = 0
+        self.crashes = 0
+        self.batches = 0
+        self.gave_up = False
+        self.finished = False
+        self.last_error: Optional[str] = None
+        self.last_heartbeat: Optional[float] = None
+        self._consecutive_failures = 0
+        #: Decode counters of retired (crashed) engines; the live
+        #: engine's are folded in on read, so totals survive restarts.
+        self._decode_retired = DecodeStats()
+
+    # -- health -----------------------------------------------------------
+
+    def heartbeat_age(self) -> Optional[float]:
+        """Seconds since the last completed batch; None before the
+        first one."""
+        if self.last_heartbeat is None:
+            return None
+        return max(0.0, self._clock() - self.last_heartbeat)
+
+    def decode_stats(self) -> DecodeStats:
+        """Tolerant-decode counters across every engine this supervisor
+        has run (retired ones plus the live one)."""
+        total = DecodeStats()
+        total.merge(self._decode_retired)
+        if self.ingest is not None:
+            total.merge(self.ingest.archive.decode_stats)
+        return total
+
+    @property
+    def records_skipped(self) -> int:
+        return self.decode_stats().records_skipped
+
+    @property
+    def bytes_quarantined(self) -> int:
+        return self.decode_stats().bytes_quarantined
+
+    @property
+    def ingest_lag_seconds(self) -> Optional[int]:
+        """How far the update watermark trails the window end — 0 once
+        the window is fully consumed, None before any record."""
+        if self.ingest is None:
+            return None
+        if self.finished:
+            return 0
+        watermark = self.ingest._updates_watermark
+        if watermark is None:
+            return self.ingest.end - self.ingest.start
+        return max(0, self.ingest.end - watermark)
+
+    @property
+    def state(self) -> str:
+        if self.gave_up:
+            return "stalled"
+        if not self.finished:
+            age = self.heartbeat_age()
+            if age is not None and age > self.heartbeat_timeout:
+                return "stalled"
+        if self.restarts > 0 or self.records_skipped > 0 \
+                or self.bytes_quarantined > 0:
+            return "degraded"
+        return "healthy"
+
+    # -- driving ----------------------------------------------------------
+
+    def _backoff_delay(self) -> float:
+        base = self.backoff * (2 ** max(0, self._consecutive_failures - 1))
+        delay = min(self.backoff_cap, base)
+        return delay + self.jitter * self._rng.random()
+
+    def _spawn(self) -> bool:
+        """(Re)build the engine from its checkpoint; a factory crash
+        counts against the restart budget like any other."""
+        try:
+            self.ingest = self.ingest_factory()
+            # Anchor recovery immediately: a crash in the very first
+            # batch must restore to *this* store position, not re-append
+            # on top of it (the engine only rolls the store back when a
+            # checkpoint exists).
+            self.ingest.checkpoint()
+            return True
+        except Exception as exc:
+            self.ingest = None
+            self._record_crash(exc)
+            return False
+
+    def _record_crash(self, exc: Exception) -> None:
+        self.crashes += 1
+        self._consecutive_failures += 1
+        self.last_error = f"{type(exc).__name__}: {exc}"
+
+    def run(self, on_batch: Optional[
+            Callable[[ObservatoryIngest], None]] = None) -> bool:
+        """Drive the ingest to :meth:`ObservatoryIngest.finish`.
+
+        Returns True when the window completed; False when the restart
+        budget ran out (state is then ``stalled`` and the last error is
+        kept for the post-mortem).
+        """
+        while True:
+            if self.ingest is None and not self._spawn():
+                if self._consecutive_failures > self.max_restarts:
+                    self.gave_up = True
+                    return False
+                self._sleep(self._backoff_delay())
+                self.restarts += 1
+                continue
+            try:
+                ingested = self.ingest.run(self.batch_records)
+                if ingested > 0:
+                    # Make the batch boundary durable before anything
+                    # else can crash; recovery then replays at most one
+                    # batch regardless of the engine's own cadence.
+                    self.ingest.checkpoint()
+                self.batches += 1
+                self.last_heartbeat = self._clock()
+                if on_batch is not None:
+                    on_batch(self.ingest)
+                if ingested > 0:
+                    # Forward progress resets the failure streak: a
+                    # crash per million records is weather, not a loop.
+                    self._consecutive_failures = 0
+                if ingested < self.batch_records:
+                    self.ingest.finish()
+                    self.finished = True
+                    self.last_heartbeat = self._clock()
+                    return True
+            except Exception as exc:
+                self._record_crash(exc)
+                if self._consecutive_failures > self.max_restarts:
+                    self.gave_up = True
+                    return False
+                self._sleep(self._backoff_delay())
+                self.restarts += 1
+                self._decode_retired.merge(
+                    self.ingest.archive.decode_stats)
+                self.ingest = None  # rebuild from checkpoint
+
+    # -- reporting --------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Supervisor counters for ``/metrics`` and ``/healthz``."""
+        decode = self.decode_stats().as_dict()
+        return {
+            "state": self.state,
+            "restarts": self.restarts,
+            "crashes": self.crashes,
+            "batches": self.batches,
+            "finished": self.finished,
+            "gave_up": self.gave_up,
+            "last_error": self.last_error,
+            "heartbeat_age_seconds": self.heartbeat_age(),
+            "ingest_lag_seconds": self.ingest_lag_seconds,
+            "records_skipped": self.records_skipped,
+            "bytes_quarantined": self.bytes_quarantined,
+            "decode": decode,
+        }

@@ -8,6 +8,7 @@ from repro.ris.archive import (
     ArchiveWriter,
 )
 from repro.ris.cache import DecodedFileCache
+from repro.ris.chaos import ChaosReport, build_reference_archive, corrupt_archive
 from repro.ris.collectors import DEFAULT_COLLECTORS, Collector, PeerRegistry, RISPeer
 from repro.ris.index import (
     INDEX_SUFFIX,
@@ -27,7 +28,10 @@ __all__ = [
     "UPDATE_BIN_SECONDS",
     "RIB_DUMP_SECONDS",
     "DEFAULT_CACHE_FILES",
+    "ChaosReport",
     "DecodedFileCache",
+    "build_reference_archive",
+    "corrupt_archive",
     "RecordFilter",
     "FileIndex",
     "INDEX_SUFFIX",

@@ -39,6 +39,7 @@ from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 
 from repro.bgp.messages import Record, record_sort_key
 from repro.mrt.files import read_updates_file, write_updates_file
+from repro.mrt.resilient import DecodeStats, ErrorPolicy
 from repro.mrt.tabledump import RibDump, decode_rib_dump, encode_rib_dump
 from repro.ris.cache import DecodedFileCache
 from repro.ris.index import build_rib_index, load_index, write_index
@@ -148,17 +149,30 @@ class Archive:
     ``cache_size`` bounds the decoded-file LRU cache (0 disables it);
     ``on_foreign_file`` is called with each non-conforming path found in
     a month directory (default: a :class:`RuntimeWarning`).
+
+    ``error_policy`` selects the decode containment mode
+    (:class:`~repro.mrt.resilient.ErrorPolicy`): ``None`` (default)
+    keeps the legacy behaviour — per-record decode errors skipped
+    silently, structural corruption raises; ``"strict"`` fails fast on
+    any corruption; ``"skip"``/``"quarantine"`` contain bad bytes via
+    header resync, counting them into :attr:`decode_stats` (and, under
+    quarantine, preserving them in per-file sidecars).  The policy is
+    applied identically on the serial and process-pool paths.
     """
 
     def __init__(self, root: Union[str, Path], workers: int = 1,
                  cache_size: int = DEFAULT_CACHE_FILES,
-                 on_foreign_file: Optional[Callable[[Path], None]] = None):
+                 on_foreign_file: Optional[Callable[[Path], None]] = None,
+                 error_policy: Optional[str] = None):
         self.root = Path(root)
         if not self.root.exists():
             raise FileNotFoundError(f"archive root does not exist: {self.root}")
         self.workers = max(1, int(workers))
         self.cache = DecodedFileCache(cache_size) if cache_size > 0 else None
         self.on_foreign_file = on_foreign_file or _warn_foreign_file
+        self.error_policy = (ErrorPolicy.validate(error_policy)
+                             if error_policy is not None else None)
+        self.decode_stats = DecodeStats()
         self.files_considered = 0
         self.files_skipped = 0
 
@@ -243,12 +257,14 @@ class Archive:
         return {
             "root": str(self.root),
             "workers": self.workers,
+            "error_policy": self.error_policy,
             "cache": self.cache.stats() if self.cache is not None else None,
             "scan": {
                 "files_considered": self.files_considered,
                 "files_skipped": self.files_skipped,
                 "files_decoded": self.files_considered - self.files_skipped,
             },
+            "decode": self.decode_stats.as_dict(),
         }
 
     def _decoded(self, path: Path, collector: str,
@@ -266,10 +282,14 @@ class Archive:
                     return cached
                 return [r for r in cached if record_filter.matches_record(r)]
             if record_filter is None:
-                records = tuple(read_updates_file(path, collector))
+                records = tuple(read_updates_file(
+                    path, collector, error_policy=self.error_policy,
+                    stats=self.decode_stats))
                 self.cache.put(path, records)
                 return records
-        return read_updates_file(path, collector, record_filter=record_filter)
+        return read_updates_file(path, collector, record_filter=record_filter,
+                                 error_policy=self.error_policy,
+                                 stats=self.decode_stats)
 
     def iter_updates(self, start: int, end: int,
                      collectors: Optional[Sequence[str]] = None,
@@ -309,7 +329,9 @@ class Archive:
             if pool is None:  # pools unavailable on this platform
                 yield from self._iter_sequential(plan, record_filter)
                 return
-            yield from iter_plan_parallel(pool, plan, record_filter, self.cache)
+            yield from iter_plan_parallel(pool, plan, record_filter, self.cache,
+                                          error_policy=self.error_policy,
+                                          stats=self.decode_stats)
 
     def iter_ribs(self, start: int, end: int,
                   collectors: Optional[Sequence[str]] = None) -> Iterator[RibDump]:

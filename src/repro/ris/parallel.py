@@ -11,6 +11,14 @@ the output sequence is byte-for-byte identical.
 Per-collector file order is preserved by consuming futures in
 submission order; a small prefetch window per collector keeps the pool
 busy without buffering a whole window's records in memory.
+
+Worker failures carry context: every exception escaping a worker is
+wrapped in :class:`~repro.mrt.files.MRTDecodeError` tagged with the
+source file path, so the parallel and serial paths report identically
+and a crashed pool never hides *which* archive file was poisoned.
+Under a tolerant :class:`~repro.mrt.resilient.ErrorPolicy` the workers
+additionally ship their per-file :class:`~repro.mrt.resilient.
+DecodeStats` back to the parent for aggregation.
 """
 
 from __future__ import annotations
@@ -23,7 +31,8 @@ from pathlib import Path
 from typing import Iterator, Optional, Sequence
 
 from repro.bgp.messages import Record, record_sort_key
-from repro.mrt.files import read_updates_file
+from repro.mrt.files import MRTDecodeError, read_updates_file
+from repro.mrt.resilient import DecodeStats
 from repro.ris.cache import DecodedFileCache
 from repro.ris.pushdown import RecordFilter
 
@@ -34,13 +43,29 @@ PREFETCH_PER_COLLECTOR = 2
 
 
 def decode_file(path: str, collector: str,
-                record_filter: Optional[RecordFilter] = None) -> list[Record]:
+                record_filter: Optional[RecordFilter] = None,
+                error_policy: Optional[str] = None
+                ) -> tuple[list[Record], dict]:
     """Worker entry point: fully decode one update file.
 
-    Module-level so it pickles; returns a list (records cross the
-    process boundary in one batch per file).
+    Module-level so it pickles; returns ``(records, stats_dict)`` —
+    records cross the process boundary in one batch per file, and the
+    stats dict carries the tolerant-decode counters (all zero when the
+    file was clean or the policy is strict/legacy).
     """
-    return list(read_updates_file(path, collector, record_filter=record_filter))
+    stats = DecodeStats()
+    try:
+        records = list(read_updates_file(path, collector,
+                                         record_filter=record_filter,
+                                         error_policy=error_policy,
+                                         stats=stats))
+    except MRTDecodeError:
+        raise  # already carries the file path
+    except Exception as exc:
+        # Never let a bare worker exception cross the pool boundary
+        # without saying which file it came from.
+        raise MRTDecodeError(f"{path}: {exc}") from exc
+    return records, stats.as_dict()
 
 
 @contextmanager
@@ -62,7 +87,9 @@ def worker_pool(workers: int):
 
 def _collector_stream(pool: Executor, collector: str, paths: Sequence[Path],
                       record_filter: Optional[RecordFilter],
-                      cache: Optional[DecodedFileCache]) -> Iterator[Record]:
+                      cache: Optional[DecodedFileCache],
+                      error_policy: Optional[str],
+                      stats: Optional[DecodeStats]) -> Iterator[Record]:
     """Records of one collector, files decoded ahead out-of-process but
     yielded strictly in file order."""
     pending: deque = deque()  # (path, cached_records | None, future | None)
@@ -76,7 +103,8 @@ def _collector_stream(pool: Executor, collector: str, paths: Sequence[Path],
                     pending.append((path, cached, None))
                     return
             pending.append((path, None, pool.submit(
-                decode_file, str(path), collector, record_filter)))
+                decode_file, str(path), collector, record_filter,
+                error_policy)))
             return
 
     for _ in range(PREFETCH_PER_COLLECTOR):
@@ -88,7 +116,9 @@ def _collector_stream(pool: Executor, collector: str, paths: Sequence[Path],
             records = (cached if record_filter is None else
                        [r for r in cached if record_filter.matches_record(r)])
         else:
-            records = future.result()
+            records, worker_stats = future.result()
+            if stats is not None:
+                stats.merge(worker_stats)
             if cache is not None and record_filter is None:
                 cache.put(path, records)
         yield from records
@@ -97,10 +127,13 @@ def _collector_stream(pool: Executor, collector: str, paths: Sequence[Path],
 def iter_plan_parallel(pool: Executor,
                        plan: Sequence[tuple[str, Sequence[Path]]],
                        record_filter: Optional[RecordFilter] = None,
-                       cache: Optional[DecodedFileCache] = None
+                       cache: Optional[DecodedFileCache] = None,
+                       error_policy: Optional[str] = None,
+                       stats: Optional[DecodeStats] = None
                        ) -> Iterator[Record]:
     """Decode a ``[(collector, paths), ...]`` plan on ``pool`` and merge
     the collector streams in global ``(time, collector, peer)`` order."""
-    streams = [_collector_stream(pool, collector, paths, record_filter, cache)
+    streams = [_collector_stream(pool, collector, paths, record_filter,
+                                 cache, error_policy, stats)
                for collector, paths in plan]
     yield from heapq.merge(*streams, key=record_sort_key)

@@ -296,3 +296,43 @@ class TestClientRobustness:
         finally:
             httpd.shutdown()
             httpd.server_close()
+
+    def test_malformed_json_raises_protocol_error(self):
+        import threading
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        from repro.observatory import ObservatoryProtocolError
+
+        class BrokenProxy(BaseHTTPRequestHandler):
+            def log_message(self, format, *args):  # noqa: A002
+                pass
+
+            def do_GET(self):  # noqa: N802
+                payload = b"<html>502 Bad Gateway</html>" + b"x" * 200
+                self.send_response(200)
+                self.send_header("Content-Type", "text/html")
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+        httpd = ThreadingHTTPServer(("127.0.0.1", 0), BrokenProxy)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            url = f"http://127.0.0.1:{httpd.server_address[1]}"
+            sleeps = []
+            client = ObservatoryClient(url, retries=3, backoff=0.05,
+                                       sleep=sleeps.append)
+            with pytest.raises(ObservatoryProtocolError) as excinfo:
+                client.healthz()
+            # A malformed body is a protocol violation, not a transient
+            # transport fault: it must not be retried.
+            assert sleeps == []
+            assert excinfo.value.url == url + "/healthz"
+            assert excinfo.value.body.startswith("<html>")
+            assert isinstance(excinfo.value.cause, ValueError)
+            assert "Bad Gateway" in str(excinfo.value)
+            assert len(str(excinfo.value)) < len(excinfo.value.body) + 120
+        finally:
+            httpd.shutdown()
+            httpd.server_close()

@@ -1,0 +1,230 @@
+"""Tests for the crash-tolerant supervisor driving a checkpointed
+ingest, and its surfacing through the observatory HTTP server."""
+
+import pytest
+
+from repro.mrt import DecodeStats
+from repro.observatory import (
+    EventStore,
+    ObservatoryClient,
+    ObservatoryIngest,
+    ObservatoryServer,
+    ObservatorySupervisor,
+    build_synthetic_archive,
+)
+from repro.ris import Archive
+
+
+@pytest.fixture(scope="module")
+def world(tmp_path_factory):
+    root = tmp_path_factory.mktemp("sup-world")
+    scen = build_synthetic_archive(root / "archive")
+    return root, scen
+
+
+def store_bytes(store_dir):
+    return EventStore(store_dir, readonly=True).raw_bytes()
+
+
+def make_supervisor(root, scen, name, **kwargs):
+    store_dir = root / name
+    store = EventStore(store_dir)
+
+    def factory():
+        return ObservatoryIngest(
+            Archive(scen.root), store, store_dir / "ckpt.json",
+            scen.intervals, scen.start, scen.end)
+
+    kwargs.setdefault("sleep", lambda s: None)
+    return ObservatorySupervisor(factory, **kwargs), store, store_dir
+
+
+@pytest.fixture(scope="module")
+def baseline(world):
+    """Byte image of the store a plain, unsupervised ingest produces."""
+    root, scen = world
+    store_dir = root / "store-baseline"
+    store = EventStore(store_dir)
+    ingest = ObservatoryIngest(
+        Archive(scen.root), store, store_dir / "ckpt.json",
+        scen.intervals, scen.start, scen.end)
+    ingest.finish()
+    store.close()
+    return store_bytes(store_dir)
+
+
+@pytest.fixture(scope="module")
+def crashed(world, baseline):
+    """A supervised run that survived two injected on_batch crashes."""
+    root, scen = world
+    supervisor, store, store_dir = make_supervisor(
+        root, scen, "store-crashed", batch_records=10)
+    remaining = {"crashes": 2}
+
+    def boom(ingest):
+        if remaining["crashes"] > 0:
+            remaining["crashes"] -= 1
+            raise RuntimeError("injected crash")
+
+    ok = supervisor.run(on_batch=boom)
+    store.close()
+    return supervisor, store_dir, ok
+
+
+class TestCleanRun:
+    def test_healthy_and_byte_identical(self, world, baseline):
+        root, scen = world
+        supervisor, store, store_dir = make_supervisor(
+            root, scen, "store-clean", batch_records=10)
+        assert supervisor.run() is True
+        store.close()
+        assert supervisor.finished
+        assert supervisor.state == "healthy"
+        assert supervisor.restarts == 0
+        assert supervisor.crashes == 0
+        assert supervisor.ingest_lag_seconds == 0
+        assert store_bytes(store_dir) == baseline
+
+    def test_stats_shape(self, world):
+        root, scen = world
+        supervisor, store, _ = make_supervisor(root, scen, "store-stats",
+                                               batch_records=10)
+        supervisor.run()
+        store.close()
+        stats = supervisor.stats()
+        assert stats["state"] == "healthy"
+        assert stats["finished"] is True
+        assert stats["gave_up"] is False
+        assert stats["last_error"] is None
+        assert stats["records_skipped"] == 0
+        assert stats["bytes_quarantined"] == 0
+        assert stats["decode"]["records_decoded"] > 0
+        assert stats["batches"] >= 1
+
+    def test_skipped_records_degrade_state(self, world):
+        root, scen = world
+        supervisor, store, _ = make_supervisor(root, scen, "store-degrade",
+                                               batch_records=10)
+        supervisor.run()
+        store.close()
+        assert supervisor.state == "healthy"
+        supervisor._decode_retired.merge(DecodeStats(records_skipped=1))
+        assert supervisor.state == "degraded"
+
+
+class TestCrashRecovery:
+    def test_converges_to_clean_store(self, crashed, baseline):
+        supervisor, store_dir, ok = crashed
+        assert ok is True
+        assert supervisor.finished
+        assert supervisor.crashes == 2
+        assert supervisor.restarts == 2
+        assert "injected crash" in supervisor.last_error
+        # Recovery replays from the last durable batch boundary: the
+        # final store must be indistinguishable from an uncrashed run.
+        assert store_bytes(store_dir) == baseline
+
+    def test_surviving_restarts_reports_degraded(self, crashed):
+        supervisor, _, _ = crashed
+        assert supervisor.state == "degraded"
+
+    def test_restart_budget_exhaustion_stalls(self, world):
+        root, scen = world
+        supervisor, store, _ = make_supervisor(
+            root, scen, "store-exhaust", batch_records=10, max_restarts=2)
+
+        def always_boom(ingest):
+            raise RuntimeError("poison window")
+
+        assert supervisor.run(on_batch=always_boom) is False
+        store.close()
+        assert supervisor.gave_up
+        assert supervisor.state == "stalled"
+        assert not supervisor.finished
+        assert supervisor.restarts == 2
+        assert supervisor.crashes == 3
+
+    def test_factory_crash_counts_against_budget(self, world):
+        root, scen = world
+
+        def bad_factory():
+            raise OSError("archive unreachable")
+
+        supervisor = ObservatorySupervisor(bad_factory, max_restarts=1,
+                                           sleep=lambda s: None)
+        assert supervisor.run() is False
+        assert supervisor.gave_up
+        assert supervisor.state == "stalled"
+        assert supervisor.ingest is None
+        assert "archive unreachable" in supervisor.last_error
+
+    def test_backoff_is_seeded_and_capped(self, world):
+        root, scen = world
+        delays = []
+        supervisor, store, _ = make_supervisor(
+            root, scen, "store-backoff", batch_records=10, max_restarts=3,
+            backoff=1.0, backoff_cap=2.5, jitter=0.0,
+            sleep=delays.append)
+
+        def always_boom(ingest):
+            raise RuntimeError("boom")
+
+        assert supervisor.run(on_batch=always_boom) is False
+        store.close()
+        # 1, 2, then capped at 2.5 (no jitter): exponential with a lid.
+        assert delays == [1.0, 2.0, 2.5]
+
+
+class TestHeartbeat:
+    def test_stale_heartbeat_stalls_unfinished_run(self, world):
+        root, scen = world
+        now = {"t": 0.0}
+        supervisor, store, _ = make_supervisor(
+            root, scen, "store-heartbeat", heartbeat_timeout=300.0,
+            clock=lambda: now["t"])
+        assert supervisor.heartbeat_age() is None
+        assert supervisor.state == "healthy"
+        supervisor.last_heartbeat = now["t"]
+        now["t"] = 250.0
+        assert supervisor.state == "healthy"
+        now["t"] = 301.0
+        assert supervisor.state == "stalled"
+        # A finished run cannot stall, no matter how old the heartbeat.
+        supervisor.finished = True
+        assert supervisor.state == "healthy"
+        store.close()
+
+
+class TestServerIntegration:
+    def test_healthz_and_metrics_surface_supervisor(self, crashed):
+        supervisor, store_dir, _ = crashed
+        store = EventStore(store_dir, readonly=True)
+        server = ObservatoryServer(store, supervisor=supervisor).start()
+        try:
+            client = ObservatoryClient(server.url)
+            body = client.healthz()
+            assert body["status"] == "ok"  # degraded is alive, not down
+            assert body["ingest_state"] == "degraded"
+            assert body["supervisor"]["restarts"] == 2
+            assert body["supervisor"]["crashes"] == 2
+
+            metrics = client.metrics()
+            assert "observatory_supervisor_restarts_total 2" in metrics
+            assert 'observatory_ingest_state{state="degraded"} 1' in metrics
+            assert 'observatory_ingest_state{state="healthy"} 0' in metrics
+            assert "observatory_ingest_lag_seconds 0" in metrics
+        finally:
+            server.stop()
+
+    def test_stalled_supervisor_fails_healthz(self, world):
+        root, scen = world
+        supervisor, store, _ = make_supervisor(root, scen, "store-stalled")
+        supervisor.gave_up = True
+        server = ObservatoryServer(store, supervisor=supervisor).start()
+        try:
+            body = ObservatoryClient(server.url).healthz()
+            assert body["status"] == "stalled"
+            assert body["ingest_state"] == "stalled"
+        finally:
+            server.stop()
+            store.close()
