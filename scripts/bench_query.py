@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Measure the observatory query path and emit ``BENCH_query.json``.
+
+Builds an event store with >= 10k ``lifespan`` events (plus outbreaks
+and resurrections, the §5 lifespan-study shape), serves it, and times
+repeated ``GET /zombies`` round-trips three ways:
+
+* ``cold_scan``      — ``use_view=False``: every request re-scans every
+  lifespan event in the store (the pre-view behaviour);
+* ``view``           — ``use_view=True``: requests are answered from the
+  incrementally maintained materialized view;
+* ``not_modified``   — conditional requests (``If-None-Match``) answered
+  ``304`` from the ETag, no body rendered or transferred.
+
+Reports p50/p99 latency and requests/second per leg, verifies the view
+and cold-scan bodies are byte-identical, and records the view-vs-cold
+p50 speedup (the acceptance bar is >= 10x).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_query.py [--lifespans 12000]
+        [--requests 200] [--quick] [--out BENCH_query.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.observatory import EventStore, ObservatoryServer  # noqa: E402
+
+
+def build_store(root: Path, lifespans: int) -> EventStore:
+    """A deterministic store in the lifespan-study shape: cumulative
+    lifespan summaries per prefix (latest wins), outbreak events, and
+    update-scale resurrections."""
+    store = EventStore(root, segment_max_records=2048)
+    prefixes = max(1, lifespans // 20)  # ~20 cumulative updates each
+    time_cursor = 1_700_000_000
+    appended = 0
+    while appended < lifespans:
+        index = appended % prefixes
+        prefix = f"2001:db8:{index // 256:x}:{index % 256:x}::/48"
+        if appended < prefixes:
+            store.append("outbreak", time_cursor,
+                         {"prefix": prefix, "detected_at": time_cursor,
+                          "peers": [["rrc00", 64500 + index % 40]]})
+        store.append("lifespan", time_cursor + 10, {
+            "prefix": prefix,
+            "visible": index % 3 == 0,
+            "started_segment": False,
+            "resurrection": appended % 97 == 0,
+            "peers": [["rrc00", 64500 + index % 40]],
+            "withdraw_time": time_cursor - 3600,
+            "first_seen": time_cursor - 7200,
+            "last_seen": time_cursor,
+            "duration_seconds": 7200 + appended,
+            "segment_count": 1 + index % 3,
+            "resurrection_count": appended % 97 == 0 and 1 or 0,
+        })
+        appended += 1
+        if index % 11 == 0:
+            store.append("resurrection", time_cursor + 20,
+                         {"prefix": prefix, "resurrected_at": time_cursor})
+        time_cursor += 60
+    store.sync()
+    return store
+
+
+def percentile(latencies: list, fraction: float) -> float:
+    ordered = sorted(latencies)
+    return ordered[int(fraction * (len(ordered) - 1))]
+
+
+def time_requests(url: str, count: int, headers=None) -> dict:
+    """Per-request wall-clock over ``count`` round-trips; the last
+    response body (or status) rides along for verification."""
+    latencies = []
+    body, status = None, None
+    for _ in range(count):
+        request = urllib.request.Request(url, headers=headers or {})
+        t0 = time.perf_counter()
+        try:
+            with urllib.request.urlopen(request) as response:
+                body = response.read()
+                status = response.status
+        except urllib.error.HTTPError as exc:
+            status = exc.code
+            exc.read()
+        latencies.append(time.perf_counter() - t0)
+    total = sum(latencies)
+    return {
+        "requests": count,
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        "mean_ms": round(total / count * 1e3, 3),
+        "requests_per_second": round(count / total, 1),
+        "_body": body,
+        "_status": status,
+    }
+
+
+def strip(leg: dict) -> dict:
+    return {k: v for k, v in leg.items() if not k.startswith("_")}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--lifespans", type=int, default=12000,
+                        help="lifespan events in the store (>= 10k for "
+                             "the acceptance run)")
+    parser.add_argument("--requests", type=int, default=200,
+                        help="round-trips per hot leg (cold scan uses "
+                             "a quarter of this)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small store and few requests (CI smoke)")
+    parser.add_argument("--out", default="BENCH_query.json")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.lifespans = min(args.lifespans, 1500)
+        args.requests = min(args.requests, 30)
+
+    results: dict = {"host": {"cpu_count": os.cpu_count()},
+                     "quick": args.quick, "legs": {}}
+    with tempfile.TemporaryDirectory(prefix="bench_query_") as tmp:
+        store = build_store(Path(tmp) / "store", args.lifespans)
+        stats = store.stats()
+        results["workload"] = {
+            "lifespan_events": stats["by_kind"]["lifespan"],
+            "events_total": stats["next_seq"],
+            "segments": stats["segments"],
+            "zombie_prefixes": len({
+                e["prefix"] for e in store.events(kinds=("lifespan",))}),
+        }
+        print(f"store: {stats['next_seq']} events "
+              f"({stats['by_kind']['lifespan']} lifespans, "
+              f"{stats['segments']} segments)")
+
+        cold_requests = max(10, args.requests // 4)
+        cold_server = ObservatoryServer(store, use_view=False).start()
+        try:
+            cold = time_requests(cold_server.url + "/zombies", cold_requests)
+        finally:
+            cold_server.stop()
+        print(f" cold_scan: p50 {cold['p50_ms']:8.3f} ms  "
+              f"p99 {cold['p99_ms']:8.3f} ms  "
+              f"{cold['requests_per_second']:7.1f} req/s")
+
+        view_server = ObservatoryServer(store, use_view=True).start()
+        try:
+            time_requests(view_server.url + "/zombies", 1)  # build the view
+            view = time_requests(view_server.url + "/zombies", args.requests)
+            assert view["_body"] == cold["_body"], \
+                "view-backed /zombies body differs from the cold scan"
+            with urllib.request.urlopen(view_server.url + "/zombies") \
+                    as response:
+                etag = response.headers["ETag"]
+            conditional = time_requests(view_server.url + "/zombies",
+                                        args.requests,
+                                        headers={"If-None-Match": etag})
+            assert conditional["_status"] == 304, \
+                f"expected 304s, got {conditional['_status']}"
+        finally:
+            view_server.stop()
+        print(f"      view: p50 {view['p50_ms']:8.3f} ms  "
+              f"p99 {view['p99_ms']:8.3f} ms  "
+              f"{view['requests_per_second']:7.1f} req/s")
+        print(f"       304: p50 {conditional['p50_ms']:8.3f} ms  "
+              f"p99 {conditional['p99_ms']:8.3f} ms  "
+              f"{conditional['requests_per_second']:7.1f} req/s")
+
+    results["legs"]["cold_scan"] = strip(cold)
+    results["legs"]["view"] = strip(view)
+    results["legs"]["not_modified"] = strip(conditional)
+    results["speedup"] = {
+        "view_vs_cold_p50": round(cold["p50_ms"] / view["p50_ms"], 1),
+        "not_modified_vs_cold_p50": round(
+            cold["p50_ms"] / conditional["p50_ms"], 1),
+    }
+    print(f"speedup (p50): view {results['speedup']['view_vs_cold_p50']}x, "
+          f"304 {results['speedup']['not_modified_vs_cold_p50']}x")
+
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2, sort_keys=False) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

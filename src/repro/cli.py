@@ -139,6 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="archive root (adds read-path metrics)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8480)
+    serve.add_argument("--view", default=True,
+                       action=argparse.BooleanOptionalAction,
+                       help="serve queries from incrementally maintained "
+                            "materialized views (--no-view: full store "
+                            "scan per request)")
 
     query = obs.add_parser("query", help="query an event store directly")
     query.add_argument("store", help="event store directory")
@@ -147,6 +152,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--prefix", default=None)
     query.add_argument("--since", type=int, default=None)
     query.add_argument("--until", type=int, default=None)
+    query.add_argument("--limit", type=int, default=None,
+                       help="print at most N rows; a resume cursor goes "
+                            "to stderr when more remain")
+    query.add_argument("--cursor", default=None,
+                       help="resume strictly after this cursor (from a "
+                            "previous --limit run)")
 
     compact = obs.add_parser(
         "compact", help="fold superseded lifespan events in a store")
@@ -483,7 +494,7 @@ def _cmd_observatory_serve(args) -> int:
     store = EventStore(args.store, readonly=True)
     archive = Archive(args.archive) if args.archive else None
     server = ObservatoryServer(store, host=args.host, port=args.port,
-                               archive=archive)
+                               archive=archive, use_view=args.view)
     print(f"observatory listening on {server.url}")
     try:
         server.serve_forever()
@@ -496,7 +507,11 @@ def _cmd_observatory_query(args) -> int:
     import json
 
     from repro.observatory import EventStore
+    from repro.observatory.views import paginate, seq_cursor
 
+    if args.limit is not None and args.limit <= 0:
+        print("--limit must be a positive integer", file=sys.stderr)
+        return 2
     store = EventStore(args.store, readonly=True)
     kinds = {"outbreaks": ("outbreak",), "resurrections": ("resurrection",),
              "zombies": ("lifespan",), "events": None}[args.what]
@@ -507,11 +522,21 @@ def _cmd_observatory_query(args) -> int:
             latest[event["prefix"]] = event
         rows = [latest[prefix] for prefix in sorted(latest)
                 if latest[prefix]["segment_count"] > 0]
+        key = lambda e: e["prefix"]  # noqa: E731 - tiny sort-key pair
+        cursor = args.cursor
     else:
+        min_seq = seq_cursor(args.cursor) + 1 if args.cursor else None
         rows = list(store.events(kinds=kinds, prefix=args.prefix,
-                                 since=args.since, until=args.until))
-    for row in rows:
+                                 since=args.since, until=args.until,
+                                 min_seq=min_seq))
+        key = lambda e: e["seq"]  # noqa: E731
+        cursor = None  # already applied via min_seq push-down
+    page, next_cursor = paginate(rows, key=key, cursor=cursor,
+                                 limit=args.limit)
+    for row in page:
         print(json.dumps(row, sort_keys=True))
+    if next_cursor is not None:
+        print(f"next cursor: {next_cursor}", file=sys.stderr)
     return 0
 
 

@@ -11,7 +11,12 @@ miniature:
 * :mod:`repro.observatory.store` is the durable, append-only event
   store the ingest writes and the query layer reads;
 * :mod:`repro.observatory.server` / :mod:`repro.observatory.client`
-  expose the store over a JSON HTTP API with Prometheus-style metrics;
+  expose the store over a JSON HTTP API with Prometheus-style metrics,
+  ETag/304 revalidation, and cursor pagination;
+* :mod:`repro.observatory.views` keeps the query-side materialized
+  views (latest lifespan per prefix, per-prefix event counts, merged
+  resurrection timeline) fresh incrementally off the store's
+  ``(generation, next_seq)`` watermark;
 * :mod:`repro.observatory.supervisor` wraps the ingest in a watchdog
   that restarts it from the last checkpoint across crashes and exposes
   a healthy/degraded/stalled state machine;
@@ -43,11 +48,13 @@ from repro.observatory.synthetic import (
     build_synthetic_archive,
     load_scenario,
 )
+from repro.observatory.views import MaterializedViews
 
 __all__ = [
     "CHECKPOINT_VERSION",
     "EventStore",
     "FsckReport",
+    "MaterializedViews",
     "ObservatoryClient",
     "ObservatoryError",
     "ObservatoryIngest",

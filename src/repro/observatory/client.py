@@ -9,6 +9,14 @@ stays unreachable after the retry budget raises
 A 200 response whose body is not valid JSON (a misconfigured proxy, a
 half-written error page) raises :class:`ObservatoryProtocolError` —
 callers never see a bare ``json.JSONDecodeError``.
+
+The client revalidates transparently: every 200 with an ``ETag`` is
+remembered per URL, repeat requests carry ``If-None-Match``, and a
+``304 Not Modified`` answer is satisfied from the cached body without
+the server re-rendering (or re-sending) anything.  Callers just see
+the JSON; :attr:`ObservatoryClient.revalidations` counts the 304s.
+:meth:`ObservatoryClient.paginate` walks a paginated listing page by
+page, following ``next_cursor`` until the listing is exhausted.
 """
 
 from __future__ import annotations
@@ -17,10 +25,10 @@ import http.client
 import json
 import socket
 import time
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterator, Optional
 from urllib.error import HTTPError, URLError
 from urllib.parse import quote, urlencode
-from urllib.request import urlopen
+from urllib.request import Request, urlopen
 
 __all__ = ["ObservatoryClient", "ObservatoryError",
            "ObservatoryProtocolError", "ObservatoryUnreachable"]
@@ -69,6 +77,9 @@ class ObservatoryClient:
     tests).
     """
 
+    #: Most-recently validated (etag, body) pairs kept per URL.
+    CACHE_ENTRIES = 256
+
     def __init__(self, base_url: str, timeout: float = 10.0,
                  retries: int = 2, backoff: float = 0.2,
                  sleep: Callable[[float], None] = time.sleep):
@@ -77,6 +88,15 @@ class ObservatoryClient:
         self.retries = max(0, int(retries))
         self.backoff = backoff
         self._sleep = sleep
+        self._etag_cache: dict[str, tuple[str, str]] = {}
+        #: Requests answered 304 and served from the local cache.
+        self.revalidations = 0
+
+    def _remember(self, url: str, etag: str, body: str) -> None:
+        self._etag_cache.pop(url, None)
+        self._etag_cache[url] = (etag, body)
+        while len(self._etag_cache) > self.CACHE_ENTRIES:
+            self._etag_cache.pop(next(iter(self._etag_cache)))
 
     def _get(self, path: str, params: Optional[dict[str, Any]] = None,
              raw: bool = False):
@@ -84,18 +104,35 @@ class ObservatoryClient:
         url = self.base_url + path
         if query:
             url += "?" + urlencode(query)
+        cached = self._etag_cache.get(url) if not raw else None
         last: Optional[Exception] = None
         for attempt in range(self.retries + 1):
             try:
-                with urlopen(url, timeout=self.timeout) as response:
+                request = Request(url)
+                if cached is not None:
+                    request.add_header("If-None-Match", cached[0])
+                with urlopen(request, timeout=self.timeout) as response:
                     body = response.read().decode("utf-8")
+                    etag = response.headers.get("ETag")
                 if raw:
                     return body
                 try:
-                    return json.loads(body)
+                    parsed = json.loads(body)
                 except ValueError as exc:
                     raise ObservatoryProtocolError(url, body, exc) from exc
+                if etag:
+                    self._remember(url, etag, body)
+                return parsed
             except HTTPError as exc:
+                if exc.code == 304:
+                    if cached is not None:
+                        # Fresh parse per call so a caller mutating the
+                        # result cannot poison the cache.
+                        self.revalidations += 1
+                        return json.loads(cached[1])
+                    raise ObservatoryProtocolError(
+                        url, "", ValueError("304 without a cached body")
+                    ) from None
                 detail = exc.read().decode("utf-8", "replace")
                 try:
                     detail = json.loads(detail).get("error", detail)
@@ -119,21 +156,50 @@ class ObservatoryClient:
 
     def outbreaks(self, prefix: Optional[str] = None,
                   since: Optional[int] = None,
-                  until: Optional[int] = None) -> dict[str, Any]:
+                  until: Optional[int] = None,
+                  limit: Optional[int] = None,
+                  cursor: Optional[str] = None) -> dict[str, Any]:
         return self._get("/outbreaks", {"prefix": prefix, "since": since,
-                                        "until": until})
+                                        "until": until, "limit": limit,
+                                        "cursor": cursor})
 
-    def zombies(self) -> dict[str, Any]:
-        return self._get("/zombies")
+    def zombies(self, limit: Optional[int] = None,
+                cursor: Optional[str] = None) -> dict[str, Any]:
+        return self._get("/zombies", {"limit": limit, "cursor": cursor})
 
     def zombie(self, prefix: str) -> dict[str, Any]:
         return self._get("/zombies/" + quote(str(prefix), safe=""))
 
     def resurrections(self, prefix: Optional[str] = None,
                       since: Optional[int] = None,
-                      until: Optional[int] = None) -> dict[str, Any]:
+                      until: Optional[int] = None,
+                      limit: Optional[int] = None,
+                      cursor: Optional[str] = None) -> dict[str, Any]:
         return self._get("/resurrections", {"prefix": prefix, "since": since,
-                                            "until": until})
+                                            "until": until, "limit": limit,
+                                            "cursor": cursor})
+
+    def paginate(self, what: str, page_size: int = 500,
+                 prefix: Optional[str] = None,
+                 since: Optional[int] = None,
+                 until: Optional[int] = None) -> Iterator[dict[str, Any]]:
+        """Iterate every item of a paginated listing, fetching
+        ``page_size`` rows per request and following ``next_cursor``
+        until the server reports no more.  ``what`` is one of
+        ``outbreaks`` / ``zombies`` / ``resurrections``; the filters
+        apply where the endpoint supports them."""
+        if what not in ("outbreaks", "zombies", "resurrections"):
+            raise ValueError(f"not a paginated listing: {what!r}")
+        params: dict[str, Any] = {"limit": page_size}
+        if what != "zombies":
+            params.update(prefix=prefix, since=since, until=until)
+        cursor: Optional[str] = None
+        while True:
+            body = self._get("/" + what, {**params, "cursor": cursor})
+            yield from body[what]
+            cursor = body.get("next_cursor")
+            if cursor is None:
+                break
 
     def metrics(self) -> str:
         return self._get("/metrics", raw=True)

@@ -140,11 +140,12 @@ def _truncate_file(path: Path, keep: int) -> None:
 
 
 def _write_manifest(root: Path, segments: list[_Segment],
-                    next_seq: int) -> None:
+                    next_seq: int, generation: int) -> None:
     import os
     payload = {
         "version": MANIFEST_VERSION,
         "next_seq": next_seq,
+        "generation": generation,
         "segments": [segment.to_json() for segment in segments],
     }
     tmp = root / "manifest.json.tmp"
@@ -156,7 +157,7 @@ def _write_manifest(root: Path, segments: list[_Segment],
 
 
 def _load_manifest(root: Path, report: FsckReport
-                   ) -> Optional[tuple[list[_Segment], int]]:
+                   ) -> Optional[tuple[list[_Segment], int, int]]:
     manifest = root / "manifest.json"
     if not manifest.exists():
         report.issue("manifest.json is missing")
@@ -168,7 +169,7 @@ def _load_manifest(root: Path, report: FsckReport
             raise ValueError(
                 f"unsupported manifest version {payload.get('version')!r}")
         segments = [_Segment.from_json(s) for s in payload["segments"]]
-        return segments, payload["next_seq"]
+        return segments, payload["next_seq"], payload.get("generation", 0)
     except (ValueError, KeyError, TypeError) as exc:
         report.issue(f"manifest.json is unreadable: {exc}")
         return None
@@ -191,7 +192,7 @@ def fsck(root: Union[str, Path], repair: bool = False) -> FsckReport:
     loaded = _load_manifest(root, report)
     if loaded is None:
         return _rebuild_from_files(root, report)
-    manifest_segments, next_seq = loaded
+    manifest_segments, next_seq, generation = loaded
     known = {segment.name for segment in manifest_segments}
 
     # Orphaned segment files: on disk, unknown to the manifest.
@@ -312,7 +313,9 @@ def fsck(root: Union[str, Path], repair: bool = False) -> FsckReport:
         if surviving:
             surviving[-1].sealed = False
             surviving[-1].sha256 = None
-        _write_manifest(root, surviving, next_seq)
+        # A new generation: watermark readers must not trust history
+        # they read before the repair.
+        _write_manifest(root, surviving, next_seq, generation + 1)
         report.action("rewrote manifest.json")
     return report
 
@@ -364,7 +367,9 @@ def _rebuild_from_files(root: Path, report: FsckReport) -> FsckReport:
         if segments:
             segments[-1].sealed = False
             segments[-1].sha256 = None
-        _write_manifest(root, segments, next_seq)
+        # The old generation died with the manifest; 1 (not 0) so a
+        # reader of the freshly created store still sees a change.
+        _write_manifest(root, segments, next_seq, 1)
         report.manifest_rebuilt = True
         report.action("rebuilt manifest.json from segment files")
     return report

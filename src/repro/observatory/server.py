@@ -15,10 +15,29 @@ process appends to it (the store's recovery rules make concurrent reads
 safe).  ``/metrics`` folds in the ingest counters and the archive
 read-path counters (decoded-file cache hits/misses/evictions, index
 skip-scan) when those objects are attached.
+
+The read path is built for *repeated* queries (the §5 lifespan workload
+asked at production rate):
+
+* by default responses come from :class:`.views.MaterializedViews`,
+  which folds only newly appended events per request instead of
+  re-scanning the store (``use_view=False`` restores full scans);
+* every data endpoint carries a strong ``ETag`` derived from the
+  store's ``(generation, next_seq)`` position plus the canonical query,
+  honours ``If-None-Match`` with ``304 Not Modified``, and sends
+  ``Cache-Control: max-age=0, must-revalidate`` so caches always
+  revalidate (one cheap position read) instead of serving stale data;
+* the list endpoints (``/outbreaks``, ``/zombies``, ``/resurrections``)
+  paginate with ``?limit=&cursor=``: pages are slices of a
+  deterministically ordered listing and the cursor is the sort key of
+  the last row served, so pages already served never shift while an
+  ingest appends.  Without paging parameters the bodies are identical
+  to the historical full listings.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -26,8 +45,19 @@ from typing import Any, Optional
 from urllib.parse import parse_qs, unquote, urlparse
 
 from repro.observatory.store import EventStore
+from repro.observatory.views import (
+    CursorError,
+    MaterializedViews,
+    paginate,
+    pair_cursor,
+    seq_cursor,
+)
 
 __all__ = ["ObservatoryServer"]
+
+#: Data responses may be cached but must be revalidated (the ETag makes
+#: revalidation a 304 with no body).
+CACHE_CONTROL = "max-age=0, must-revalidate"
 
 
 def _int_param(params: dict, name: str) -> Optional[int]:
@@ -45,8 +75,24 @@ def _str_param(params: dict, name: str) -> Optional[str]:
     return values[0] if values else None
 
 
+def _limit_param(params: dict) -> Optional[int]:
+    limit = _int_param(params, "limit")
+    if limit is not None and limit <= 0:
+        raise _BadRequest("parameter 'limit' must be a positive integer")
+    return limit
+
+
 class _BadRequest(Exception):
     pass
+
+
+class _NotFound(Exception):
+    """A routing miss: unknown path or unknown resource.
+
+    Deliberately distinct from ``KeyError`` — a ``KeyError`` escaping a
+    handler is a *data* bug (e.g. a lifespan event missing a field) and
+    must surface as a 500, not masquerade as "no such resource".
+    """
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -57,36 +103,74 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         observatory: "ObservatoryServer" = self.server.observatory  # type: ignore[attr-defined]
-        observatory.requests_served += 1
+        observatory.count_request()
         url = urlparse(self.path)
         params = parse_qs(url.query)
         try:
             if url.path == "/metrics":
                 self._send_text(200, observatory.render_metrics())
                 return
+            etag = None
+            if url.path != "/healthz":
+                etag = observatory.etag_for(url.path, params)
+                if self._etag_matches(etag):
+                    observatory.count_not_modified()
+                    self._send_not_modified(etag)
+                    return
             body = observatory.handle(url.path, params)
-            self._send_json(200, body)
+            self._send_json(200, body, etag=etag)
         except _BadRequest as exc:
             self._send_json(400, {"error": str(exc)})
-        except KeyError:
+        except CursorError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except _NotFound:
             self._send_json(404, {"error": f"no such resource: {url.path}"})
+        except Exception as exc:  # noqa: BLE001 - data bugs become 500s
+            self._send_json(500, {"error": "internal server error: "
+                                           f"{type(exc).__name__}: {exc}"})
 
-    def _send_json(self, status: int, body: dict[str, Any]) -> None:
+    def _etag_matches(self, etag: str) -> bool:
+        header = self.headers.get("If-None-Match")
+        if not header:
+            return False
+        candidates = [value.strip() for value in header.split(",")]
+        return "*" in candidates or etag in candidates
+
+    def _send_json(self, status: int, body: dict[str, Any],
+                   etag: Optional[str] = None) -> None:
         payload = json.dumps(body, sort_keys=True).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(payload)))
-        self.end_headers()
-        self.wfile.write(payload)
+        headers = [("Content-Type", "application/json"),
+                   ("Content-Length", str(len(payload)))]
+        if etag is not None:
+            headers += [("ETag", etag), ("Cache-Control", CACHE_CONTROL)]
+        self._transmit(status, headers, payload)
 
     def _send_text(self, status: int, text: str) -> None:
         payload = text.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type",
-                         "text/plain; version=0.0.4; charset=utf-8")
-        self.send_header("Content-Length", str(len(payload)))
-        self.end_headers()
-        self.wfile.write(payload)
+        self._transmit(status, [
+            ("Content-Type", "text/plain; version=0.0.4; charset=utf-8"),
+            ("Content-Length", str(len(payload)))], payload)
+
+    def _send_not_modified(self, etag: str) -> None:
+        self._transmit(304, [("ETag", etag),
+                             ("Cache-Control", CACHE_CONTROL)], b"")
+
+    def _transmit(self, status: int, headers: list[tuple[str, str]],
+                  payload: bytes) -> None:
+        """Write one response, tolerating a client that hung up: a
+        disconnect mid-response is the client's business, not a stderr
+        traceback — drop it and count it."""
+        try:
+            self.send_response(status)
+            for name, value in headers:
+                self.send_header(name, value)
+            self.end_headers()
+            if payload:
+                self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):
+            observatory: "ObservatoryServer" = self.server.observatory  # type: ignore[attr-defined]
+            observatory.count_dropped_response()
+            self.close_connection = True
 
 
 class ObservatoryServer:
@@ -94,15 +178,25 @@ class ObservatoryServer:
 
     ``port=0`` binds an ephemeral port (read it back from
     :attr:`port` after construction) — the form every test uses.
+    ``use_view=False`` disables the materialized views and serves every
+    query with a full store scan (the pre-view behaviour, kept for
+    benchmarking and as an escape hatch).
     """
 
     def __init__(self, store: EventStore, host: str = "127.0.0.1",
-                 port: int = 0, ingest=None, archive=None, supervisor=None):
+                 port: int = 0, ingest=None, archive=None, supervisor=None,
+                 use_view: bool = True):
         self.store = store
         self.ingest = ingest
         self.archive = archive
         self.supervisor = supervisor
-        self.requests_served = 0
+        self.views = MaterializedViews(store) if use_view else None
+        #: Handler threads run concurrently (ThreadingHTTPServer); all
+        #: request counters share one lock so none of them undercount.
+        self._counter_lock = threading.Lock()
+        self._requests_served = 0
+        self._responses_dropped = 0
+        self._not_modified = 0
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.observatory = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
@@ -137,27 +231,75 @@ class ObservatoryServer:
             self._thread.join(timeout=5)
             self._thread = None
 
+    # -- counters ---------------------------------------------------------
+
+    def count_request(self) -> None:
+        with self._counter_lock:
+            self._requests_served += 1
+
+    def count_dropped_response(self) -> None:
+        with self._counter_lock:
+            self._responses_dropped += 1
+
+    def count_not_modified(self) -> None:
+        with self._counter_lock:
+            self._not_modified += 1
+
+    @property
+    def requests_served(self) -> int:
+        with self._counter_lock:
+            return self._requests_served
+
+    @property
+    def responses_dropped(self) -> int:
+        with self._counter_lock:
+            return self._responses_dropped
+
+    @property
+    def not_modified_served(self) -> int:
+        with self._counter_lock:
+            return self._not_modified
+
+    # -- caching ----------------------------------------------------------
+
+    def etag_for(self, path: str, params: dict) -> str:
+        """Strong ETag for one request: the store's logical position
+        (generation + next_seq — together they identify the visible
+        content exactly) plus a digest of the canonical query."""
+        generation, next_seq = self.store.position()
+        canon = path + "?" + "&".join(
+            f"{key}={value}"
+            for key in sorted(params)
+            for value in params[key])
+        digest = hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+        return f'"{generation}-{next_seq}-{digest}"'
+
     # -- routing ----------------------------------------------------------
 
     def handle(self, path: str, params: dict) -> dict[str, Any]:
+        if self.views is not None and path != "/healthz":
+            self.views.refresh()
         if path == "/healthz":
             return self._healthz()
         if path == "/outbreaks":
             return self._outbreaks(params)
         if path == "/zombies":
-            return self._zombies()
+            return self._zombies(params)
         if path.startswith("/zombies/"):
             return self._zombie(unquote(path[len("/zombies/"):]))
         if path == "/resurrections":
             return self._resurrections(params)
-        raise KeyError(path)
+        raise _NotFound(path)
 
     def _healthz(self) -> dict[str, Any]:
         stats = self.store.stats()
         body = {"status": "ok", "events": stats["next_seq"],
                 "segments": stats["segments"],
+                "generation": stats["generation"],
                 "ingest_finished": (self.ingest.finished
                                     if self.ingest is not None else None)}
+        if self.views is not None:
+            body["view"] = self.views.stats()
         if self.supervisor is not None:
             state = self.supervisor.state
             body["ingest_state"] = state
@@ -169,12 +311,26 @@ class ObservatoryServer:
         return body
 
     def _outbreaks(self, params: dict) -> dict[str, Any]:
+        limit = _limit_param(params)
+        cursor = _str_param(params, "cursor")
+        min_seq = None
+        if cursor is not None:
+            # Push the cursor down into the segment skip: pages deep in
+            # a long history never open the segments before them.
+            min_seq = seq_cursor(cursor) + 1
         events = list(self.store.events(
             kinds=("outbreak",),
             prefix=_str_param(params, "prefix"),
             since=_int_param(params, "since"),
-            until=_int_param(params, "until")))
-        return {"count": len(events), "outbreaks": events}
+            until=_int_param(params, "until"),
+            min_seq=min_seq))
+        if limit is None and cursor is None:
+            return {"count": len(events), "outbreaks": events}
+        page, next_key = paginate(events, key=lambda e: e["seq"],
+                                  limit=limit)
+        return {"count": len(page), "outbreaks": page,
+                "next_cursor": str(next_key) if next_key is not None
+                else None}
 
     def _latest_lifespans(self, prefix: Optional[str] = None
                           ) -> dict[str, dict[str, Any]]:
@@ -183,27 +339,48 @@ class ObservatoryServer:
             latest[event["prefix"]] = event  # seq order: last one wins
         return latest
 
-    def _zombies(self) -> dict[str, Any]:
-        zombies = [event for _, event in sorted(self._latest_lifespans().items())
-                   if event["segment_count"] > 0]
-        return {"count": len(zombies), "zombies": zombies}
+    def _zombie_rows(self) -> list[dict[str, Any]]:
+        if self.views is not None:
+            return self.views.zombies()
+        return [event for _, event in sorted(self._latest_lifespans().items())
+                if event["segment_count"] > 0]
+
+    def _zombies(self, params: dict) -> dict[str, Any]:
+        limit = _limit_param(params)
+        cursor = _str_param(params, "cursor")
+        rows = self._zombie_rows()
+        if limit is None and cursor is None:
+            return {"count": len(rows), "zombies": rows}
+        page, next_key = paginate(rows, key=lambda e: e["prefix"],
+                                  cursor=cursor, limit=limit)
+        return {"count": len(page), "zombies": page, "next_cursor": next_key}
 
     def _zombie(self, prefix: str) -> dict[str, Any]:
-        lifespan = self._latest_lifespans(prefix).get(prefix)
+        if self.views is not None:
+            lifespan = self.views.latest_lifespan(prefix)
+        else:
+            lifespan = self._latest_lifespans(prefix).get(prefix)
         outbreaks = list(self.store.events(kinds=("outbreak",), prefix=prefix))
         resurrections = list(self.store.events(kinds=("resurrection",),
                                                prefix=prefix))
         if lifespan is None and not outbreaks and not resurrections:
-            raise KeyError(prefix)
+            raise _NotFound(prefix)
+        counts = (self.views.counts(prefix) if self.views is not None
+                  else {"outbreaks": len(outbreaks),
+                        "resurrections": len(resurrections)})
         return {"prefix": prefix, "lifespan": lifespan,
-                "outbreaks": outbreaks, "resurrections": resurrections}
+                "outbreaks": outbreaks, "resurrections": resurrections,
+                "outbreak_count": counts["outbreaks"],
+                "resurrection_count": counts["resurrections"]}
 
-    def _resurrections(self, params: dict) -> dict[str, Any]:
+    def _resurrection_rows(self, prefix: Optional[str],
+                           since: Optional[int],
+                           until: Optional[int]) -> list[dict[str, Any]]:
         """Both §5.1 scales, merged: update-stream re-announcements and
         RIB-dump gap/reappearance events."""
-        prefix = _str_param(params, "prefix")
-        since = _int_param(params, "since")
-        until = _int_param(params, "until")
+        if self.views is not None:
+            return self.views.resurrections(prefix=prefix, since=since,
+                                            until=until)
         merged = []
         for event in self.store.events(kinds=("resurrection",), prefix=prefix,
                                        since=since, until=until):
@@ -213,7 +390,23 @@ class ObservatoryServer:
             if event["resurrection"]:
                 merged.append({**event, "scale": "rib"})
         merged.sort(key=lambda e: (e["time"], e["seq"]))
-        return {"count": len(merged), "resurrections": merged}
+        return merged
+
+    def _resurrections(self, params: dict) -> dict[str, Any]:
+        limit = _limit_param(params)
+        cursor = _str_param(params, "cursor")
+        rows = self._resurrection_rows(_str_param(params, "prefix"),
+                                       _int_param(params, "since"),
+                                       _int_param(params, "until"))
+        if limit is None and cursor is None:
+            return {"count": len(rows), "resurrections": rows}
+        parsed = pair_cursor(cursor) if cursor is not None else None
+        page, next_key = paginate(rows,
+                                  key=lambda e: (e["time"], e["seq"]),
+                                  cursor=parsed, limit=limit)
+        return {"count": len(page), "resurrections": page,
+                "next_cursor": (f"{next_key[0]}:{next_key[1]}"
+                                if next_key is not None else None)}
 
     # -- metrics ----------------------------------------------------------
 
@@ -221,71 +414,97 @@ class ObservatoryServer:
         """Prometheus text exposition of every counter we hold."""
         lines: list[str] = []
 
-        def gauge(name: str, value, help_text: str, labels: str = "") -> None:
+        def metric(name: str, value, help_text: str, labels: str = "") -> None:
             if value is None:
                 return
             if not any(line.startswith(f"# HELP {name} ") for line in lines):
+                # Monotonic series (the `_total` convention) are
+                # counters — `rate()` only works on counters; states
+                # and levels stay gauges.
+                kind = "counter" if name.endswith("_total") else "gauge"
                 lines.append(f"# HELP {name} {help_text}")
-                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"# TYPE {name} {kind}")
             lines.append(f"{name}{labels} {value}")
 
         store = self.store.stats()
-        gauge("observatory_events_total", store["next_seq"],
-              "Events appended to the store over its lifetime.")
-        gauge("observatory_store_segments", store["segments"],
-              "Segment files in the event store.")
+        metric("observatory_events_total", store["next_seq"],
+               "Events appended to the store over its lifetime.")
+        metric("observatory_store_segments", store["segments"],
+               "Segment files in the event store.")
+        metric("observatory_store_generation", store["generation"],
+               "History rewrites (truncate/compact/repair) the store "
+               "has seen.")
         for kind, count in sorted(store["by_kind"].items()):
-            gauge("observatory_events", count,
-                  "Events currently in the store by kind.",
-                  labels=f'{{kind="{kind}"}}')
-        gauge("observatory_http_requests_total", self.requests_served,
-              "HTTP requests served.")
+            metric("observatory_events", count,
+                   "Events currently in the store by kind.",
+                   labels=f'{{kind="{kind}"}}')
+        metric("observatory_http_requests_total", self.requests_served,
+               "HTTP requests served.")
+        metric("observatory_http_not_modified_total",
+               self.not_modified_served,
+               "Conditional requests answered 304 from the ETag.")
+        metric("observatory_http_responses_dropped_total",
+               self.responses_dropped,
+               "Responses dropped because the client disconnected.")
+        if self.views is not None:
+            view = self.views.stats()
+            metric("observatory_view_watermark", view["watermark"],
+                   "Store seq the materialized views are caught up to.")
+            metric("observatory_view_prefixes", view["prefixes"],
+                   "Prefixes tracked in the latest-lifespan view.")
+            metric("observatory_view_refreshes_total", view["refreshes"],
+                   "Materialized view refresh passes.")
+            metric("observatory_view_rebuilds_total", view["rebuilds"],
+                   "Full view rebuilds (store generation changes).")
+            metric("observatory_view_events_folded_total",
+                   view["events_folded"],
+                   "Events folded into the views incrementally.")
         if self.ingest is not None:
             ingest = self.ingest.stats()
-            gauge("observatory_ingest_records_total",
-                  ingest["records_ingested"],
-                  "Update records consumed from the archive.")
-            gauge("observatory_ingest_dumps_total", ingest["dumps_ingested"],
-                  "RIB dumps consumed from the archive.")
-            gauge("observatory_ingest_checkpoints_total",
-                  ingest["checkpoints_written"], "Checkpoints persisted.")
-            gauge("observatory_ingest_pending_evaluations",
-                  ingest["pending_evaluations"],
-                  "Beacon intervals awaiting their evaluation deadline.")
+            metric("observatory_ingest_records_total",
+                   ingest["records_ingested"],
+                   "Update records consumed from the archive.")
+            metric("observatory_ingest_dumps_total", ingest["dumps_ingested"],
+                   "RIB dumps consumed from the archive.")
+            metric("observatory_ingest_checkpoints_total",
+                   ingest["checkpoints_written"], "Checkpoints persisted.")
+            metric("observatory_ingest_pending_evaluations",
+                   ingest["pending_evaluations"],
+                   "Beacon intervals awaiting their evaluation deadline.")
         if self.supervisor is not None:
             sup = self.supervisor.stats()
-            gauge("observatory_supervisor_restarts_total", sup["restarts"],
-                  "Ingest engine restarts after crashes.")
-            gauge("observatory_ingest_records_skipped_total",
-                  sup["records_skipped"],
-                  "Poison records skipped by the tolerant decoder.")
-            gauge("observatory_ingest_bytes_quarantined_total",
-                  sup["bytes_quarantined"],
-                  "Raw bytes preserved in quarantine sidecars.")
-            gauge("observatory_ingest_lag_seconds", sup["ingest_lag_seconds"],
-                  "Window time remaining ahead of the update watermark.")
+            metric("observatory_supervisor_restarts_total", sup["restarts"],
+                   "Ingest engine restarts after crashes.")
+            metric("observatory_ingest_records_skipped_total",
+                   sup["records_skipped"],
+                   "Poison records skipped by the tolerant decoder.")
+            metric("observatory_ingest_bytes_quarantined_total",
+                   sup["bytes_quarantined"],
+                   "Raw bytes preserved in quarantine sidecars.")
+            metric("observatory_ingest_lag_seconds", sup["ingest_lag_seconds"],
+                   "Window time remaining ahead of the update watermark.")
             for state in ("healthy", "degraded", "stalled"):
-                gauge("observatory_ingest_state",
-                      1 if sup["state"] == state else 0,
-                      "Supervised ingest health state (one-hot).",
-                      labels=f'{{state="{state}"}}')
+                metric("observatory_ingest_state",
+                       1 if sup["state"] == state else 0,
+                       "Supervised ingest health state (one-hot).",
+                       labels=f'{{state="{state}"}}')
         if self.archive is not None:
             stats = self.archive.stats()
             cache = stats["cache"]
             if cache is not None:
-                gauge("observatory_archive_cache_hits_total", cache["hits"],
-                      "Decoded-file cache hits.")
-                gauge("observatory_archive_cache_misses_total",
-                      cache["misses"], "Decoded-file cache misses.")
-                gauge("observatory_archive_cache_evictions_total",
-                      cache["evictions"], "Decoded-file cache evictions.")
-                gauge("observatory_archive_cache_entries", cache["entries"],
-                      "Decoded files currently cached.")
+                metric("observatory_archive_cache_hits_total", cache["hits"],
+                       "Decoded-file cache hits.")
+                metric("observatory_archive_cache_misses_total",
+                       cache["misses"], "Decoded-file cache misses.")
+                metric("observatory_archive_cache_evictions_total",
+                       cache["evictions"], "Decoded-file cache evictions.")
+                metric("observatory_archive_cache_entries", cache["entries"],
+                       "Decoded files currently cached.")
             scan = stats["scan"]
-            gauge("observatory_archive_files_considered_total",
-                  scan["files_considered"],
-                  "Archive files considered by scan planning.")
-            gauge("observatory_archive_files_skipped_total",
-                  scan["files_skipped"],
-                  "Archive files skipped via the sidecar index.")
+            metric("observatory_archive_files_considered_total",
+                   scan["files_considered"],
+                   "Archive files considered by scan planning.")
+            metric("observatory_archive_files_skipped_total",
+                   scan["files_skipped"],
+                   "Archive files skipped via the sidecar index.")
         return "\n".join(lines) + "\n"

@@ -20,6 +20,13 @@ back to the checkpoint's event count, then re-emission is deterministic.
 :meth:`EventStore.compact` folds superseded ``lifespan`` events (each is
 a cumulative per-prefix summary, so only the latest per prefix matters)
 while preserving the surviving events' bytes and seqs.
+
+Both rewriting operations bump the manifest's ``generation``, which is
+how watermark-based readers (:mod:`repro.observatory.views`) tell "the
+store grew" apart from "history behind my watermark changed": an
+unchanged generation plus a higher ``next_seq`` means everything below
+the watermark is exactly as it was, so reading ``events(min_seq=...)``
+is a complete delta.
 """
 
 from __future__ import annotations
@@ -171,6 +178,7 @@ class EventStore:
         self.readonly = readonly
         self._segments: list[_Segment] = []
         self._next_seq = 0
+        self._generation = 0
         self._handle = None
         if readonly:
             if not (self.root / "manifest.json").exists():
@@ -196,11 +204,13 @@ class EventStore:
                 f"{payload.get('version')!r}")
         self._segments = [_Segment.from_json(s) for s in payload["segments"]]
         self._next_seq = payload["next_seq"]
+        self._generation = payload.get("generation", 0)
 
     def _sync_manifest(self) -> None:
         payload = {
             "version": MANIFEST_VERSION,
             "next_seq": self._next_seq,
+            "generation": self._generation,
             "segments": [segment.to_json() for segment in self._segments],
         }
         tmp = self.root / "manifest.json.tmp"
@@ -240,6 +250,25 @@ class EventStore:
         """The seq the next appended event will get (== events appended
         over the store's lifetime, net of truncation)."""
         return self._next_seq
+
+    @property
+    def generation(self) -> int:
+        """Bumped whenever history is rewritten (truncate / compact /
+        doctor repair).  Same generation + higher ``next_seq`` ==
+        append-only growth."""
+        return self._generation
+
+    def position(self) -> tuple[int, int]:
+        """``(generation, next_seq)`` — the store's logical position.
+
+        A readonly store re-reads the manifest first, so this reflects
+        whatever a concurrent writer has published; together the pair
+        uniquely identifies the store's visible content, which is what
+        the server's ETags and the materialized views key on.
+        """
+        if self.readonly:
+            self._load_manifest()
+        return self._generation, self._next_seq
 
     def _open_segment(self) -> None:
         segment = _Segment(name=_segment_name(self._next_seq),
@@ -305,23 +334,34 @@ class EventStore:
     def events(self, kinds: Optional[Sequence[str]] = None,
                prefix: Optional[str] = None,
                since: Optional[int] = None,
-               until: Optional[int] = None) -> Iterator[dict[str, Any]]:
+               until: Optional[int] = None,
+               min_seq: Optional[int] = None) -> Iterator[dict[str, Any]]:
         """Iterate matching events in seq order.
 
         ``kinds`` filters on the event kind, ``prefix`` on the exact
         prefix string, ``since``/``until`` on the half-open event time
-        window ``[since, until)``.  Sealed segments are skipped through
-        the manifest index without being opened.
+        window ``[since, until)``, ``min_seq`` on ``seq >= min_seq`` —
+        the watermark filter incremental readers use to fetch only what
+        was appended since their last pass.  Sealed segments are skipped
+        through the manifest index without being opened; ``min_seq``
+        additionally skips sealed segments that end below it (the active
+        segment is never skipped — its manifest count may trail the file
+        when a concurrent writer is appending).
         """
         if self.readonly:
             # Pick up whatever a concurrent writer has published.
             self._load_manifest()
         kind_set = frozenset(kinds) if kinds is not None else None
         for segment in self._segments:
+            if min_seq is not None and segment.sealed \
+                    and segment.first_seq + segment.count <= min_seq:
+                continue
             if segment.sealed and not segment.may_match(
                     kind_set, prefix, since, until):
                 continue
             for event in self._read_segment(segment):
+                if min_seq is not None and event["seq"] < min_seq:
+                    continue
                 if kind_set is not None and event["kind"] not in kind_set:
                     continue
                 if prefix is not None and event.get("prefix") != prefix:
@@ -385,6 +425,7 @@ class EventStore:
             kept[-1].sha256 = None
         self._segments = kept
         self._next_seq = next_seq
+        self._generation += 1
         self._sync_manifest()
         return dropped
 
@@ -435,6 +476,7 @@ class EventStore:
         if self._segments:
             self._segments[-1].sealed = False
             self._segments[-1].sha256 = None
+        self._generation += 1
         self._sync_manifest()
         return {"kept": len(survivors), "dropped": dropped}
 
@@ -451,5 +493,6 @@ class EventStore:
             "segments": len(self._segments),
             "events": events,
             "next_seq": self._next_seq,
+            "generation": self._generation,
             "by_kind": by_kind,
         }

@@ -1,0 +1,245 @@
+"""Materialized read views over the event store.
+
+The §5 lifespan study is a *query* workload: "which prefixes are
+zombies right now, and for how long" asked over and over against a
+slowly growing event history.  Serving every such query with a full
+store scan (`EventStore.events()`) costs O(events) per request;
+:class:`MaterializedViews` makes repeated queries O(new events) by
+keeping three derived structures up to date incrementally:
+
+* the **latest lifespan per prefix** — each ``lifespan`` event is a
+  cumulative per-prefix summary, so only the newest matters;
+* **per-prefix outbreak / resurrection counts**;
+* the **merged resurrection timeline** — update-scale ``resurrection``
+  events and RIB-scale ``lifespan`` events flagged ``resurrection``,
+  tagged with their scale and ordered by ``(time, seq)`` exactly as
+  ``GET /resurrections`` has always returned them.
+
+Refresh is keyed to the store's ``(generation, next_seq)`` position:
+an unchanged generation means history behind the watermark is intact,
+so :meth:`MaterializedViews.refresh` folds only
+``events(min_seq=watermark)``.  A generation bump (truncate, compact,
+doctor repair) or a watermark regression triggers a full rebuild.
+This works identically for a shared-process store and a readonly
+store tailing a concurrent writer — the readonly store re-reads its
+manifest inside ``position()`` / ``events()``.
+
+The module also hosts the cursor pagination helpers shared by the
+HTTP server and the ``observatory query`` CLI: pages are slices of a
+deterministically ordered listing, the cursor is the sort key of the
+last row served, and a follow-up page starts strictly after it — so
+already-served pages never shift under concurrent appends.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Callable, Optional
+
+from repro.observatory.store import EventStore
+
+__all__ = ["CursorError", "MaterializedViews", "paginate",
+           "pair_cursor", "seq_cursor"]
+
+
+class CursorError(ValueError):
+    """A pagination cursor that cannot be parsed."""
+
+
+def seq_cursor(raw: str) -> int:
+    """Cursor for seq-ordered listings: the last seq served."""
+    try:
+        return int(raw)
+    except ValueError:
+        raise CursorError(f"cursor must be an event seq, got {raw!r}")
+
+
+def pair_cursor(raw: str) -> tuple[int, int]:
+    """Cursor for ``(time, seq)``-ordered listings: ``"<time>:<seq>"``."""
+    time, sep, seq = raw.partition(":")
+    try:
+        if not sep:
+            raise ValueError(raw)
+        return int(time), int(seq)
+    except ValueError:
+        raise CursorError(f"cursor must look like '<time>:<seq>', "
+                          f"got {raw!r}")
+
+
+def paginate(rows: list, key: Callable[[Any], Any],
+             cursor: Optional[Any] = None,
+             limit: Optional[int] = None) -> tuple[list, Optional[Any]]:
+    """Slice ``rows`` (sorted ascending by ``key``) to one page.
+
+    ``cursor`` is the *parsed* sort key of the last row of the previous
+    page; the page starts strictly after it, so a cursor past the end
+    yields an empty page.  Returns ``(page, next_cursor)`` where
+    ``next_cursor`` is the new last key, or ``None`` when the page
+    reaches the end of the listing (or no ``limit`` was given).
+    """
+    start = 0
+    if cursor is not None:
+        lo, hi = 0, len(rows)
+        while lo < hi:  # bisect_right over key(rows[i])
+            mid = (lo + hi) // 2
+            if key(rows[mid]) <= cursor:
+                lo = mid + 1
+            else:
+                hi = mid
+        start = lo
+    if limit is None:
+        return rows[start:], None
+    page = rows[start:start + limit]
+    if page and start + limit < len(rows):
+        return page, key(page[-1])
+    return page, None
+
+
+class MaterializedViews:
+    """Incrementally maintained query views over one :class:`EventStore`.
+
+    Call :meth:`refresh` before reading; it is cheap when nothing was
+    appended (one manifest read for a readonly store, nothing at all
+    for a shared-process one).
+    """
+
+    #: Bound on the settle loop: a refresh re-checks the generation
+    #: after folding and rebuilds when a truncate/compact raced it.
+    _MAX_SETTLE = 3
+
+    def __init__(self, store: EventStore):
+        self.store = store
+        self.refreshes = 0
+        self.rebuilds = 0
+        self.events_folded = 0
+        #: One lock for maintenance and reads: the server's handler
+        #: threads refresh and query concurrently.
+        self._lock = threading.RLock()
+        self._reset()
+
+    def _reset(self) -> None:
+        self._generation: Optional[int] = None
+        self._watermark = 0
+        self._latest: dict[str, dict[str, Any]] = {}
+        self._outbreak_counts: dict[str, int] = {}
+        self._resurrection_counts: dict[str, int] = {}
+        self._timeline_keys: list[tuple[int, int]] = []
+        self._timeline: list[dict[str, Any]] = []
+
+    # -- maintenance ------------------------------------------------------
+
+    @property
+    def watermark(self) -> int:
+        """Events below this seq are folded into the views."""
+        return self._watermark
+
+    def refresh(self) -> int:
+        """Bring the views up to the store's published position.
+
+        Reads only events at or above the watermark; a generation bump
+        or watermark regression discards everything and rebuilds (the
+        first refresh of a fresh instance counts as a rebuild).
+        Returns how many events were folded.
+        """
+        with self._lock:
+            return self._refresh_locked()
+
+    def _refresh_locked(self) -> int:
+        self.refreshes += 1
+        folded = 0
+        for _ in range(self._MAX_SETTLE):
+            generation, next_seq = self.store.position()
+            if generation != self._generation \
+                    or next_seq < self._watermark:
+                self._reset()
+                self._generation = generation
+                self.rebuilds += 1
+            if next_seq <= self._watermark:
+                break
+            for event in self.store.events(min_seq=self._watermark):
+                self._fold(event)
+                self._watermark = max(self._watermark, event["seq"] + 1)
+                folded += 1
+            self._watermark = max(self._watermark, next_seq)
+            # If a truncate/compact raced the scan we may have folded a
+            # mix of old and new history; the next pass detects the
+            # generation change and rebuilds.
+            if self.store.generation == self._generation:
+                break
+        self.events_folded += folded
+        return folded
+
+    def _fold(self, event: dict[str, Any]) -> None:
+        kind = event["kind"]
+        if kind == "lifespan":
+            self._latest[event["prefix"]] = event
+            if event["resurrection"]:
+                self._timeline_insert({**event, "scale": "rib"})
+        elif kind == "outbreak":
+            prefix = event["prefix"]
+            self._outbreak_counts[prefix] = \
+                self._outbreak_counts.get(prefix, 0) + 1
+        elif kind == "resurrection":
+            prefix = event["prefix"]
+            self._resurrection_counts[prefix] = \
+                self._resurrection_counts.get(prefix, 0) + 1
+            self._timeline_insert({**event, "scale": "updates"})
+
+    def _timeline_insert(self, entry: dict[str, Any]) -> None:
+        key = (entry["time"], entry["seq"])
+        index = bisect.bisect_left(self._timeline_keys, key)
+        self._timeline_keys.insert(index, key)
+        self._timeline.insert(index, entry)
+
+    # -- queries ----------------------------------------------------------
+
+    def latest_lifespan(self, prefix: str) -> Optional[dict[str, Any]]:
+        """The latest ``lifespan`` event for one prefix, or ``None``."""
+        with self._lock:
+            return self._latest.get(prefix)
+
+    def zombies(self) -> list[dict[str, Any]]:
+        """Prefixes currently in a zombie segment, prefix-sorted —
+        the ``GET /zombies`` listing."""
+        with self._lock:
+            return [event for _, event in sorted(self._latest.items())
+                    if event["segment_count"] > 0]
+
+    def resurrections(self, prefix: Optional[str] = None,
+                      since: Optional[int] = None,
+                      until: Optional[int] = None) -> list[dict[str, Any]]:
+        """The merged two-scale timeline, ``(time, seq)``-ordered,
+        optionally filtered like ``EventStore.events``."""
+        rows = []
+        with self._lock:
+            for entry in self._timeline:
+                if prefix is not None and entry.get("prefix") != prefix:
+                    continue
+                time = entry["time"]
+                if since is not None and time < since:
+                    continue
+                if until is not None and time >= until:
+                    continue
+                rows.append(entry)
+        return rows
+
+    def counts(self, prefix: str) -> dict[str, int]:
+        """Per-prefix ``outbreak`` / ``resurrection`` event counts."""
+        with self._lock:
+            return {
+                "outbreaks": self._outbreak_counts.get(prefix, 0),
+                "resurrections": self._resurrection_counts.get(prefix, 0),
+            }
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "watermark": self._watermark,
+                "generation": self._generation,
+                "prefixes": len(self._latest),
+                "timeline_entries": len(self._timeline),
+                "refreshes": self.refreshes,
+                "rebuilds": self.rebuilds,
+                "events_folded": self.events_folded,
+            }

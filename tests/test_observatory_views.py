@@ -1,0 +1,581 @@
+"""Tests for the materialized query views, cursor pagination, ETag/304
+revalidation, and the query-path bugfixes in the HTTP layer."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.observatory import (
+    EventStore,
+    MaterializedViews,
+    ObservatoryClient,
+    ObservatoryServer,
+)
+from repro.observatory.client import ObservatoryError
+from repro.observatory.views import (
+    CursorError,
+    pair_cursor,
+    paginate,
+    seq_cursor,
+)
+
+
+def lifespan(prefix, segments=1, resurrection=False):
+    """A minimal but complete lifespan payload (ingest shape)."""
+    return {
+        "prefix": prefix,
+        "visible": segments == 0,
+        "started_segment": False,
+        "resurrection": resurrection,
+        "peers": [],
+        "withdraw_time": 1000,
+        "first_seen": 900,
+        "last_seen": 5000,
+        "duration_seconds": 4100,
+        "segment_count": segments,
+        "resurrection_count": 1 if resurrection else 0,
+    }
+
+
+def fill_store(store, prefixes=6, rounds=3):
+    """Append a deterministic mix of all three event kinds."""
+    time = 1000
+    for round_index in range(rounds):
+        for index in range(prefixes):
+            prefix = f"2001:db8:{index:x}::/48"
+            store.append("outbreak", time,
+                         {"prefix": prefix, "detected_at": time})
+            store.append("lifespan", time + 10,
+                         lifespan(prefix, segments=(index % 3),
+                                  resurrection=(round_index == 1
+                                                and index % 2 == 0)))
+            if index % 2 == 1:
+                store.append("resurrection", time + 20,
+                             {"prefix": prefix, "resurrected_at": time + 20})
+            time += 100
+    store.sync()
+
+
+def full_scan_zombies(store):
+    latest = {}
+    for event in store.events(kinds=("lifespan",)):
+        latest[event["prefix"]] = event
+    return [latest[p] for p in sorted(latest)
+            if latest[p]["segment_count"] > 0]
+
+
+def full_scan_resurrections(store):
+    merged = [{**e, "scale": "updates"}
+              for e in store.events(kinds=("resurrection",))]
+    merged += [{**e, "scale": "rib"}
+               for e in store.events(kinds=("lifespan",))
+               if e["resurrection"]]
+    merged.sort(key=lambda e: (e["time"], e["seq"]))
+    return merged
+
+
+class TestStoreMinSeq:
+    def test_min_seq_filters_and_skips_sealed_segments(self, tmp_path):
+        store = EventStore(tmp_path / "s", segment_max_records=4)
+        fill_store(store)
+        everything = list(store.events())
+        bound = everything[len(everything) // 2]["seq"] + 1
+        delta = list(store.events(min_seq=bound))
+        assert [e["seq"] for e in delta] == \
+            [e["seq"] for e in everything if e["seq"] >= bound]
+
+    def test_min_seq_composes_with_other_filters(self, tmp_path):
+        store = EventStore(tmp_path / "s", segment_max_records=4)
+        fill_store(store)
+        rows = list(store.events(kinds=("outbreak",), min_seq=10))
+        assert rows == [e for e in store.events(kinds=("outbreak",))
+                        if e["seq"] >= 10]
+
+    def test_generation_bumps_on_truncate_and_compact(self, tmp_path):
+        store = EventStore(tmp_path / "s")
+        fill_store(store)
+        assert store.generation == 0
+        store.truncate(store.next_seq - 2)
+        assert store.generation == 1
+        store.compact()
+        assert store.generation == 2
+        # and it round-trips through the manifest
+        reopened = EventStore(tmp_path / "s", readonly=True)
+        assert reopened.position()[0] == 2
+
+
+class TestMaterializedViews:
+    def test_matches_full_scan(self, tmp_path):
+        store = EventStore(tmp_path / "s", segment_max_records=8)
+        fill_store(store)
+        views = MaterializedViews(store)
+        views.refresh()
+        assert views.zombies() == full_scan_zombies(store)
+        assert views.resurrections() == full_scan_resurrections(store)
+
+    def test_refresh_is_incremental(self, tmp_path):
+        store = EventStore(tmp_path / "s", segment_max_records=8)
+        fill_store(store)
+        views = MaterializedViews(store)
+        views.refresh()
+        baseline = views.stats()
+        assert baseline["events_folded"] == store.next_seq
+        assert baseline["rebuilds"] == 1  # the initial build
+        # No growth: nothing folded.
+        assert views.refresh() == 0
+        # Three appends: exactly three events folded, no rebuild.
+        store.append("outbreak", 9000, {"prefix": "2a0d::/48"})
+        store.append("lifespan", 9010, lifespan("2a0d::/48"))
+        store.append("resurrection", 9020, {"prefix": "2a0d::/48"})
+        assert views.refresh() == 3
+        stats = views.stats()
+        assert stats["rebuilds"] == 1
+        assert stats["watermark"] == store.next_seq
+        assert views.zombies() == full_scan_zombies(store)
+
+    def test_counts_per_prefix(self, tmp_path):
+        store = EventStore(tmp_path / "s")
+        fill_store(store, prefixes=4, rounds=2)
+        views = MaterializedViews(store)
+        views.refresh()
+        for index in range(4):
+            prefix = f"2001:db8:{index:x}::/48"
+            counts = views.counts(prefix)
+            assert counts["outbreaks"] == len(list(
+                store.events(kinds=("outbreak",), prefix=prefix)))
+            assert counts["resurrections"] == len(list(
+                store.events(kinds=("resurrection",), prefix=prefix)))
+
+    def test_truncate_triggers_rebuild(self, tmp_path):
+        store = EventStore(tmp_path / "s")
+        fill_store(store)
+        views = MaterializedViews(store)
+        views.refresh()
+        store.truncate(store.next_seq // 2)
+        views.refresh()
+        assert views.stats()["rebuilds"] == 2
+        assert views.zombies() == full_scan_zombies(store)
+        assert views.resurrections() == full_scan_resurrections(store)
+
+    def test_truncate_then_append_to_same_next_seq(self, tmp_path):
+        """The poisonous shape: next_seq returns to a value the view has
+        already seen, but history below it changed.  The generation
+        bump is what catches it."""
+        store = EventStore(tmp_path / "s")
+        store.append("outbreak", 100, {"prefix": "a::/48"})
+        store.append("outbreak", 200, {"prefix": "b::/48"})
+        views = MaterializedViews(store)
+        views.refresh()
+        assert views.counts("b::/48")["outbreaks"] == 1
+        store.truncate(1)
+        store.append("outbreak", 300, {"prefix": "c::/48"})
+        assert store.next_seq == 2  # same position, different content
+        views.refresh()
+        assert views.counts("b::/48")["outbreaks"] == 0
+        assert views.counts("c::/48")["outbreaks"] == 1
+
+    def test_compact_preserves_view_content(self, tmp_path):
+        store = EventStore(tmp_path / "s", segment_max_records=8)
+        fill_store(store)
+        views = MaterializedViews(store)
+        views.refresh()
+        before_zombies = views.zombies()
+        before_resurrections = views.resurrections()
+        store.compact()
+        views.refresh()
+        assert views.stats()["rebuilds"] == 2
+        assert views.zombies() == before_zombies
+        assert views.resurrections() == before_resurrections
+
+    def test_readonly_reader_sees_concurrent_appends(self, tmp_path):
+        writer = EventStore(tmp_path / "s")
+        writer.append("lifespan", 100, lifespan("a::/48"))
+        writer.sync()
+        reader = EventStore(tmp_path / "s", readonly=True)
+        views = MaterializedViews(reader)
+        views.refresh()
+        assert [z["prefix"] for z in views.zombies()] == ["a::/48"]
+        # Appends published by the writer become visible through the
+        # watermark without reopening anything.
+        writer.append("lifespan", 200, lifespan("b::/48"))
+        writer.append("lifespan", 300, lifespan("a::/48", segments=0))
+        writer.sync()
+        assert views.refresh() == 2
+        assert [z["prefix"] for z in views.zombies()] == ["b::/48"]
+        assert views.stats()["rebuilds"] == 1  # incremental, not rebuilt
+
+
+class TestPaginateHelper:
+    ROWS = [{"seq": s} for s in (1, 3, 5, 7)]
+
+    def test_no_limit_returns_everything(self):
+        page, cursor = paginate(self.ROWS, key=lambda r: r["seq"])
+        assert page == self.ROWS and cursor is None
+
+    def test_pages_chain_to_the_full_listing(self):
+        key = lambda r: r["seq"]  # noqa: E731
+        collected, cursor = [], None
+        while True:
+            page, cursor = paginate(self.ROWS, key=key, cursor=cursor,
+                                    limit=3)
+            collected += page
+            if cursor is None:
+                break
+        assert collected == self.ROWS
+
+    def test_cursor_past_end_is_empty(self):
+        page, cursor = paginate(self.ROWS, key=lambda r: r["seq"],
+                                cursor=99, limit=2)
+        assert page == [] and cursor is None
+
+    def test_exact_final_page_has_no_cursor(self):
+        page, cursor = paginate(self.ROWS, key=lambda r: r["seq"],
+                                cursor=3, limit=2)
+        assert [r["seq"] for r in page] == [5, 7] and cursor is None
+
+    def test_cursor_codecs_reject_garbage(self):
+        assert seq_cursor("41") == 41
+        assert pair_cursor("100:7") == (100, 7)
+        with pytest.raises(CursorError):
+            seq_cursor("yesterday")
+        with pytest.raises(CursorError):
+            pair_cursor("100")
+        with pytest.raises(CursorError):
+            pair_cursor("a:b")
+
+
+@pytest.fixture()
+def served(tmp_path):
+    store = EventStore(tmp_path / "store", segment_max_records=8)
+    fill_store(store)
+    server = ObservatoryServer(store).start()
+    yield store, server, ObservatoryClient(server.url)
+    server.stop()
+
+
+class TestHttpPagination:
+    @pytest.mark.parametrize("what", ["outbreaks", "zombies",
+                                      "resurrections"])
+    def test_pages_reassemble_the_full_listing(self, served, what):
+        store, server, client = served
+        full = client._get(f"/{what}")[what]
+        assert full  # the fixture scripted events of every kind
+        paged = list(client.paginate(what, page_size=2))
+        assert paged == full
+
+    def test_unpaged_bodies_keep_the_historical_shape(self, served):
+        store, server, client = served
+        body = client.zombies()
+        assert set(body) == {"count", "zombies"}
+        assert body["count"] == len(body["zombies"])
+        assert client.outbreaks().keys() == {"count", "outbreaks"}
+
+    def test_page_envelope(self, served):
+        store, server, client = served
+        body = client.zombies(limit=1)
+        assert body["count"] == 1
+        assert body["next_cursor"] == body["zombies"][0]["prefix"]
+        tail = client.zombies(cursor=body["next_cursor"])
+        assert body["zombies"] + tail["zombies"] == \
+            client.zombies()["zombies"]
+        assert tail["next_cursor"] is None
+
+    def test_cursor_past_end_yields_empty_page(self, served):
+        store, server, client = served
+        body = client.zombies(limit=5, cursor="zzzz")
+        assert body == {"count": 0, "next_cursor": None, "zombies": []}
+        last_seq = store.next_seq
+        body = client.outbreaks(limit=5, cursor=str(last_seq + 100))
+        assert body["outbreaks"] == [] and body["next_cursor"] is None
+
+    def test_limit_zero_is_400(self, served):
+        store, server, client = served
+        for bad in ("0", "-3"):
+            with pytest.raises(ObservatoryError) as excinfo:
+                client._get("/zombies", {"limit": bad})
+            assert excinfo.value.status == 400
+            assert "limit" in excinfo.value.message
+
+    def test_malformed_cursor_is_400(self, served):
+        store, server, client = served
+        with pytest.raises(ObservatoryError) as excinfo:
+            client.outbreaks(limit=2, cursor="yesterday")
+        assert excinfo.value.status == 400
+        with pytest.raises(ObservatoryError) as excinfo:
+            client.resurrections(limit=2, cursor="not-a-pair")
+        assert excinfo.value.status == 400
+
+    def test_outbreak_pages_stable_under_concurrent_appends(self, served):
+        store, server, client = served
+        first = client.outbreaks(limit=3)
+        store.append("outbreak", 99999, {"prefix": "fresh::/48"})
+        store.sync()
+        rest = list(client.paginate("outbreaks", page_size=3))
+        seen = first["outbreaks"] + [
+            e for e in rest if e["seq"] > int(first["next_cursor"])]
+        assert seen == client.outbreaks()["outbreaks"]
+        assert seen[-1]["prefix"] == "fresh::/48"
+
+
+class TestViewParity:
+    def test_view_and_cold_scan_bodies_are_identical(self, tmp_path):
+        store = EventStore(tmp_path / "store", segment_max_records=8)
+        fill_store(store)
+        with_view = ObservatoryServer(store, use_view=True).start()
+        without = ObservatoryServer(store, use_view=False).start()
+        try:
+            hot = ObservatoryClient(with_view.url)
+            cold = ObservatoryClient(without.url)
+            for call in ("outbreaks", "zombies", "resurrections"):
+                assert getattr(hot, call)() == getattr(cold, call)()
+            prefix = "2001:db8:1::/48"
+            assert hot.zombie(prefix) == cold.zombie(prefix)
+        finally:
+            with_view.stop()
+            without.stop()
+
+    def test_zombie_detail_counts_come_from_the_view(self, served):
+        store, server, client = served
+        prefix = "2001:db8:1::/48"
+        body = client.zombie(prefix)
+        assert body["outbreak_count"] == len(body["outbreaks"]) > 0
+        assert body["resurrection_count"] == len(body["resurrections"]) > 0
+
+    def test_healthz_reports_view_watermark(self, served):
+        store, server, client = served
+        client.zombies()  # force one refresh
+        health = client.healthz()
+        assert health["view"]["watermark"] == store.next_seq
+        assert health["generation"] == store.generation
+
+
+class TestEtagRevalidation:
+    def test_repeat_query_is_a_304(self, served):
+        store, server, client = served
+        first = client.zombies()
+        assert client.revalidations == 0
+        again = client.zombies()
+        assert again == first
+        assert client.revalidations == 1
+        assert server.not_modified_served == 1
+
+    def test_append_invalidates(self, served):
+        store, server, client = served
+        client.zombies()
+        client.zombies()
+        assert client.revalidations == 1
+        store.append("lifespan", 99999, lifespan("fresh::/48"))
+        store.sync()
+        body = client.zombies()
+        assert client.revalidations == 1  # full 200, not a 304
+        assert "fresh::/48" in {z["prefix"] for z in body["zombies"]}
+
+    def test_truncate_then_append_invalidates_at_same_next_seq(
+            self, tmp_path):
+        store = EventStore(tmp_path / "store")
+        store.append("lifespan", 100, lifespan("a::/48"))
+        store.append("lifespan", 200, lifespan("b::/48"))
+        server = ObservatoryServer(store).start()
+        try:
+            client = ObservatoryClient(server.url)
+            client.zombies()
+            store.truncate(1)
+            store.append("lifespan", 300, lifespan("c::/48"))
+            assert store.next_seq == 2
+            body = client.zombies()
+            assert client.revalidations == 0  # ETag changed: no false 304
+            assert [z["prefix"] for z in body["zombies"]] == \
+                ["a::/48", "c::/48"]
+        finally:
+            server.stop()
+
+    def test_compact_changes_etag_not_content(self, served):
+        store, server, client = served
+        before = client.zombies()
+        store.compact()
+        after = client.zombies()
+        assert client.revalidations == 0
+        assert after == before
+        client.zombies()
+        assert client.revalidations == 1  # steady state again
+
+    def test_distinct_queries_have_distinct_etags(self, served):
+        store, server, client = served
+        client.outbreaks()
+        client.outbreaks(prefix="2001:db8:1::/48")
+        assert client.revalidations == 0
+        client.outbreaks(prefix="2001:db8:1::/48")
+        assert client.revalidations == 1
+
+    def test_raw_if_none_match_gets_304_and_headers(self, served):
+        store, server, client = served
+        url = server.url + "/zombies"
+        with urllib.request.urlopen(url) as response:
+            etag = response.headers["ETag"]
+            assert response.headers["Cache-Control"] == \
+                "max-age=0, must-revalidate"
+        request = urllib.request.Request(
+            url, headers={"If-None-Match": etag})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 304
+        assert excinfo.value.headers["ETag"] == etag
+
+
+class TestHandlerBugfixes:
+    def test_request_counter_is_exact_under_hammering(self, served):
+        store, server, client = served
+        base = server.requests_served
+        threads, per_thread = 8, 25
+        failures = []
+
+        def hammer():
+            local = ObservatoryClient(server.url)
+            try:
+                for _ in range(per_thread):
+                    local.healthz()
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert not failures
+        assert server.requests_served == base + threads * per_thread
+
+    def test_data_bug_is_500_not_404(self, tmp_path):
+        """A lifespan event missing ``segment_count`` is a data bug;
+        it must surface, not read as 'no such resource'."""
+        store = EventStore(tmp_path / "store")
+        broken = lifespan("bad::/48")
+        del broken["segment_count"]
+        store.append("lifespan", 100, broken)
+        server = ObservatoryServer(store).start()
+        try:
+            client = ObservatoryClient(server.url, retries=0)
+            with pytest.raises(ObservatoryError) as excinfo:
+                client.zombies()
+            assert excinfo.value.status == 500
+            assert "KeyError" in excinfo.value.message
+            # Routing misses still 404.
+            with pytest.raises(ObservatoryError) as excinfo:
+                client._get("/nope")
+            assert excinfo.value.status == 404
+            with pytest.raises(ObservatoryError) as excinfo:
+                client.zombie("unknown::/48")
+            assert excinfo.value.status == 404
+        finally:
+            server.stop()
+
+    def test_monotonic_series_are_counters(self, served):
+        store, server, client = served
+        types = {}
+        for line in client.metrics().splitlines():
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split()
+                types[name] = kind
+        assert types["observatory_events_total"] == "counter"
+        assert types["observatory_http_requests_total"] == "counter"
+        assert types["observatory_http_not_modified_total"] == "counter"
+        assert types["observatory_http_responses_dropped_total"] == "counter"
+        assert types["observatory_view_refreshes_total"] == "counter"
+        assert types["observatory_store_segments"] == "gauge"
+        assert types["observatory_view_watermark"] == "gauge"
+        assert types["observatory_events"] == "gauge"
+
+    def test_client_disconnect_mid_response_is_dropped(self, tmp_path):
+        from repro.observatory.server import _Handler
+
+        store = EventStore(tmp_path / "store")
+        server = ObservatoryServer(store)  # never started: no socket
+        try:
+            class HungUp:
+                def write(self, data):
+                    raise BrokenPipeError(32, "Broken pipe")
+
+                def flush(self):
+                    pass
+
+            handler = _Handler.__new__(_Handler)
+            handler.server = server._httpd
+            handler.wfile = HungUp()
+            handler.request_version = "HTTP/1.1"
+            handler.requestline = "GET /zombies HTTP/1.1"
+            handler.close_connection = False
+            handler._send_json(200, {"count": 0})  # must not raise
+            assert server.responses_dropped == 1
+            assert handler.close_connection is True
+            handler._send_not_modified('"1-2-abc"')
+            assert server.responses_dropped == 2
+        finally:
+            server._httpd.server_close()
+
+    def test_dropped_responses_surface_in_metrics(self, served):
+        store, server, client = served
+        server.count_dropped_response()
+        assert ("observatory_http_responses_dropped_total 1"
+                in client.metrics().splitlines())
+
+
+class TestQueryCli:
+    @pytest.fixture()
+    def store_dir(self, tmp_path):
+        store = EventStore(tmp_path / "store")
+        fill_store(store, prefixes=4, rounds=1)
+        store.close()
+        return str(tmp_path / "store")
+
+    def test_limit_and_cursor_resume(self, store_dir, capsys):
+        assert main(["observatory", "query", store_dir, "outbreaks"]) == 0
+        full = capsys.readouterr().out.splitlines()
+        assert main(["observatory", "query", store_dir, "outbreaks",
+                     "--limit", "3"]) == 0
+        captured = capsys.readouterr()
+        first = captured.out.splitlines()
+        assert len(first) == 3
+        cursor = captured.err.split("next cursor:")[1].strip()
+        assert cursor == str(json.loads(first[-1])["seq"])
+        assert main(["observatory", "query", store_dir, "outbreaks",
+                     "--limit", "100", "--cursor", cursor]) == 0
+        captured = capsys.readouterr()
+        assert first + captured.out.splitlines() == full
+        assert "next cursor" not in captured.err
+
+    def test_zombies_paginate_by_prefix(self, store_dir, capsys):
+        assert main(["observatory", "query", store_dir, "zombies"]) == 0
+        full = capsys.readouterr().out.splitlines()
+        assert len(full) >= 2
+        assert main(["observatory", "query", store_dir, "zombies",
+                     "--limit", "1"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines() == full[:1]
+        cursor = captured.err.split("next cursor:")[1].strip()
+        assert cursor == json.loads(full[0])["prefix"]
+        assert main(["observatory", "query", store_dir, "zombies",
+                     "--cursor", cursor]) == 0
+        assert capsys.readouterr().out.splitlines() == full[1:]
+
+    def test_bad_limit_and_cursor_exit_2(self, store_dir, capsys):
+        assert main(["observatory", "query", store_dir, "outbreaks",
+                     "--limit", "0"]) == 2
+        assert "limit" in capsys.readouterr().err
+        assert main(["observatory", "query", store_dir, "outbreaks",
+                     "--cursor", "yesterday"]) == 2
+        err = capsys.readouterr().err
+        assert "cursor" in err and "Traceback" not in err
+
+    def test_serve_accepts_view_flags(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["observatory", "serve", "somewhere"])
+        assert args.view is True
+        args = parser.parse_args(["observatory", "serve", "somewhere",
+                                  "--no-view"])
+        assert args.view is False
