@@ -507,7 +507,7 @@ def _cmd_observatory_query(args) -> int:
     import json
 
     from repro.observatory import EventStore
-    from repro.observatory.views import paginate, seq_cursor
+    from repro.observatory.views import CursorError, paginate, seq_cursor
 
     if args.limit is not None and args.limit <= 0:
         print("--limit must be a positive integer", file=sys.stderr)
@@ -525,7 +525,11 @@ def _cmd_observatory_query(args) -> int:
         key = lambda e: e["prefix"]  # noqa: E731 - tiny sort-key pair
         cursor = args.cursor
     else:
-        min_seq = seq_cursor(args.cursor) + 1 if args.cursor else None
+        try:
+            min_seq = seq_cursor(args.cursor) + 1 if args.cursor else None
+        except CursorError as exc:
+            print(f"--cursor: {exc}", file=sys.stderr)
+            return 2
         rows = list(store.events(kinds=kinds, prefix=args.prefix,
                                  since=args.since, until=args.until,
                                  min_seq=min_seq))

@@ -367,9 +367,34 @@ def _rebuild_from_files(root: Path, report: FsckReport) -> FsckReport:
         if segments:
             segments[-1].sealed = False
             segments[-1].sha256 = None
-        # The old generation died with the manifest; 1 (not 0) so a
-        # reader of the freshly created store still sees a change.
-        _write_manifest(root, segments, next_seq, 1)
+        _write_manifest(root, segments, next_seq,
+                        _salvage_generation(root))
         report.manifest_rebuilt = True
         report.action("rebuilt manifest.json from segment files")
     return report
+
+
+def _salvage_generation(root: Path) -> int:
+    """A generation for the rebuilt manifest that is unambiguously new.
+
+    A tailing reader (views/ETags) that knew generation N would miss
+    the history rewrite if the rebuilt store landed on a generation it
+    had already seen — which hardcoding a constant does for any store
+    that was ever truncated/compacted.  Best effort: fish the old value
+    out of whatever manifest bytes remain and go one past it; with
+    nothing to salvage, fall back to the epoch clock, far above any
+    incrementally bumped generation."""
+    best = None
+    for name in ("manifest.json", "manifest.json.tmp"):
+        try:
+            text = (root / name).read_text(encoding="utf-8",
+                                           errors="replace")
+        except OSError:
+            continue
+        for match in re.findall(r'"generation"\s*:\s*(\d+)', text):
+            value = int(match)
+            best = value if best is None else max(best, value)
+    if best is not None:
+        return best + 1
+    import time
+    return int(time.time())

@@ -111,7 +111,7 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_text(200, observatory.render_metrics())
                 return
             etag = None
-            if url.path != "/healthz":
+            if observatory.cacheable(url.path):
                 etag = observatory.etag_for(url.path, params)
                 if self._etag_matches(etag):
                     observatory.count_not_modified()
@@ -133,8 +133,10 @@ class _Handler(BaseHTTPRequestHandler):
         header = self.headers.get("If-None-Match")
         if not header:
             return False
-        candidates = [value.strip() for value in header.split(",")]
-        return "*" in candidates or etag in candidates
+        # Concrete matches only: honouring ``*`` ("any current
+        # representation") would answer 304 for resources that do not
+        # exist, since the match runs before the data lookup.
+        return etag in (value.strip() for value in header.split(","))
 
     def _send_json(self, status: int, body: dict[str, Any],
                    etag: Optional[str] = None) -> None:
@@ -261,6 +263,15 @@ class ObservatoryServer:
             return self._not_modified
 
     # -- caching ----------------------------------------------------------
+
+    @staticmethod
+    def cacheable(path: str) -> bool:
+        """Pattern-level test for paths that serve cacheable data.
+        The conditional-request short-circuit only runs on these, so a
+        request for an unknown path falls through to its 404 instead of
+        being answered 304 (``etag_for`` succeeds for *any* path)."""
+        return (path in ("/outbreaks", "/zombies", "/resurrections")
+                or path.startswith("/zombies/"))
 
     def etag_for(self, path: str, params: dict) -> str:
         """Strong ETag for one request: the store's logical position

@@ -261,14 +261,53 @@ class EventStore:
     def position(self) -> tuple[int, int]:
         """``(generation, next_seq)`` — the store's logical position.
 
-        A readonly store re-reads the manifest first, so this reflects
-        whatever a concurrent writer has published; together the pair
-        uniquely identifies the store's visible content, which is what
-        the server's ETags and the materialized views key on.
+        Together the pair uniquely identifies the store's *visible*
+        content, which is what the server's ETags and the materialized
+        views key on.  A readonly store re-reads the manifest and then
+        the active segment's file tail: a concurrent writer flushes
+        every append but only syncs the manifest on segment roll /
+        ``sync()``, and ``events()`` reads the file tail — so the
+        position must advance with every append a reader can see, not
+        just with every manifest sync.
         """
         if self.readonly:
             self._load_manifest()
+            return self._generation, self._tail_next_seq()
         return self._generation, self._next_seq
+
+    def _tail_next_seq(self) -> int:
+        """``next_seq`` as visible in the active segment's file —
+        possibly ahead of the manifest's value while a concurrent
+        writer is mid-segment.  Reads only the last complete line."""
+        if not self._segments:
+            return self._next_seq
+        active = self._segments[-1]
+        if active.sealed:
+            return self._next_seq
+        path = self.root / active.name
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                window = 1 << 16
+                while True:
+                    start = max(0, size - window)
+                    handle.seek(start)
+                    data = handle.read(size - start)
+                    end = data.rfind(b"\n")
+                    prev = data.rfind(b"\n", 0, end) if end != -1 else -1
+                    if start == 0 or (end != -1 and prev != -1):
+                        break
+                    window *= 2  # a line longer than the window
+        except OSError:
+            return self._next_seq
+        if end == -1:
+            return self._next_seq  # no complete line yet
+        try:
+            last_seq = json.loads(data[prev + 1:end])["seq"]
+        except (ValueError, KeyError, TypeError):
+            return self._next_seq  # torn/garbled tail: doctor territory
+        return max(self._next_seq, last_seq + 1)
 
     def _open_segment(self) -> None:
         segment = _Segment(name=_segment_name(self._next_seq),

@@ -17,8 +17,10 @@ keeping three derived structures up to date incrementally:
 
 Refresh is keyed to the store's ``(generation, next_seq)`` position:
 an unchanged generation means history behind the watermark is intact,
-so :meth:`MaterializedViews.refresh` folds only
-``events(min_seq=watermark)``.  A generation bump (truncate, compact,
+so :meth:`MaterializedViews.refresh` folds exactly the events in
+``[watermark, next_seq)`` — never past the published position, so the
+views always correspond to a position the server's ETags can name.
+A generation bump (truncate, compact,
 doctor repair) or a watermark regression triggers a full rebuild.
 This works identically for a shared-process store and a readonly
 store tailing a concurrent writer — the readonly store re-reads its
@@ -158,10 +160,17 @@ class MaterializedViews:
             if next_seq <= self._watermark:
                 break
             for event in self.store.events(min_seq=self._watermark):
+                if event["seq"] >= next_seq:
+                    # Appended after position() was read.  Folding it
+                    # now would push the watermark past the published
+                    # position (forcing a spurious rebuild on the next
+                    # refresh) and serve content newer than the ETag
+                    # the server derived from that position; the next
+                    # refresh folds it instead.
+                    break
                 self._fold(event)
-                self._watermark = max(self._watermark, event["seq"] + 1)
                 folded += 1
-            self._watermark = max(self._watermark, next_seq)
+            self._watermark = next_seq
             # If a truncate/compact raced the scan we may have folded a
             # mix of old and new history; the next pass detects the
             # generation change and rebuilds.

@@ -138,6 +138,32 @@ class TestManifestLoss:
         events = store_events(store_dir)
         assert [event["seq"] for event in events] == list(range(10))
 
+    def test_rebuilt_generation_is_unambiguously_new(self, store_dir):
+        """A store already past generation 0 (it was truncated) must not
+        land back on a generation a tailing reader has already seen
+        when the manifest is rebuilt — the reader would miss the
+        history rewrite unless next_seq also shrank."""
+        store = EventStore(store_dir)
+        store.truncate(store.next_seq - 2)
+        store.close()
+        old = manifest(store_dir)["generation"]
+        assert old >= 1
+        text = (store_dir / "manifest.json").read_text()
+        (store_dir / "manifest.json").write_text(text[:-10])  # torn JSON
+        report = fsck(store_dir, repair=True)
+        assert report.manifest_rebuilt
+        # The old generation was salvaged from the torn bytes.
+        assert manifest(store_dir)["generation"] == old + 1
+
+    def test_rebuilt_generation_without_any_manifest_bytes(self, store_dir):
+        (store_dir / "manifest.json").unlink()
+        report = fsck(store_dir, repair=True)
+        assert report.manifest_rebuilt
+        # Nothing to salvage: the fallback must still be far above any
+        # generation an incrementing store could plausibly have reached.
+        assert manifest(store_dir)["generation"] > 1_000_000
+        assert fsck(store_dir).clean
+
     def test_drifted_next_seq_reset(self, store_dir):
         payload = manifest(store_dir)
         payload["next_seq"] = 42

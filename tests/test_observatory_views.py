@@ -108,6 +108,40 @@ class TestStoreMinSeq:
         assert reopened.position()[0] == 2
 
 
+class TestReadonlyTailPosition:
+    """A concurrent writer flushes every append but syncs the manifest
+    only on segment roll / sync(); readers see the file tail anyway, so
+    the readonly position() must advance with it (the ETag / watermark
+    contract: position names exactly the visible content)."""
+
+    def test_position_advances_with_unsynced_appends(self, tmp_path):
+        writer = EventStore(tmp_path / "s")
+        writer.append("outbreak", 100, {"prefix": "a::/48"})
+        writer.sync()
+        reader = EventStore(tmp_path / "s", readonly=True)
+        generation, synced = reader.position()
+        writer.append("outbreak", 200, {"prefix": "b::/48"})  # mid-segment
+        assert reader.position() == (generation, synced + 1)
+        # and it agrees with what events() actually returns
+        assert max(e["seq"] for e in reader.events()) == synced
+
+    def test_position_matches_manifest_when_in_sync(self, tmp_path):
+        writer = EventStore(tmp_path / "s")
+        writer.append("outbreak", 100, {"prefix": "a::/48"})
+        writer.sync()
+        reader = EventStore(tmp_path / "s", readonly=True)
+        assert reader.position() == (0, writer.next_seq)
+
+    def test_partial_trailing_line_is_not_visible(self, tmp_path):
+        writer = EventStore(tmp_path / "s")
+        writer.append("outbreak", 100, {"prefix": "a::/48"})
+        writer.sync()
+        with open(tmp_path / "s" / "seg-00000000.jsonl", "ab") as handle:
+            handle.write(b'{"seq": 1, "torn')  # crash artefact, no newline
+        reader = EventStore(tmp_path / "s", readonly=True)
+        assert reader.position() == (0, 1)
+
+
 class TestMaterializedViews:
     def test_matches_full_scan(self, tmp_path):
         store = EventStore(tmp_path / "s", segment_max_records=8)
@@ -207,6 +241,30 @@ class TestMaterializedViews:
         assert views.refresh() == 2
         assert [z["prefix"] for z in views.zombies()] == ["b::/48"]
         assert views.stats()["rebuilds"] == 1  # incremental, not rebuilt
+
+    def test_unsynced_writer_appends_fold_incrementally(self, tmp_path):
+        """The production shape: a writer mid-segment, manifest behind
+        the file tail.  Each refresh must fold the tail events (the
+        cold path returns them, so the view must too) *without* the
+        watermark outrunning position() — which would degrade every
+        refresh into a full rebuild."""
+        writer = EventStore(tmp_path / "s")
+        writer.append("lifespan", 100, lifespan("a::/48"))
+        writer.sync()
+        reader = EventStore(tmp_path / "s", readonly=True)
+        views = MaterializedViews(reader)
+        views.refresh()
+        for index in range(4):
+            writer.append("lifespan", 200 + index,
+                          lifespan(f"b{index}::/48"))  # no sync()
+            assert views.refresh() == 1
+        stats = views.stats()
+        assert stats["rebuilds"] == 1  # only the initial build
+        assert stats["refreshes"] == 5
+        assert views.zombies() == full_scan_zombies(reader)
+        assert len(views.zombies()) == 5
+        # The watermark never outran the published position.
+        assert stats["watermark"] == reader.position()[1]
 
 
 class TestPaginateHelper:
@@ -410,6 +468,38 @@ class TestEtagRevalidation:
         assert client.revalidations == 0
         client.outbreaks(prefix="2001:db8:1::/48")
         assert client.revalidations == 1
+
+    def test_unsynced_writer_append_invalidates(self, tmp_path):
+        """The flagship deployment: readonly serve + live ingest.  An
+        append the writer has flushed but not manifest-synced changes
+        the body, so it must change the ETag too — a 304 here would
+        pin clients to stale data."""
+        writer = EventStore(tmp_path / "store")
+        writer.append("lifespan", 100, lifespan("a::/48"))
+        writer.sync()
+        reader = EventStore(tmp_path / "store", readonly=True)
+        server = ObservatoryServer(reader).start()
+        try:
+            client = ObservatoryClient(server.url)
+            client.zombies()
+            client.zombies()
+            assert client.revalidations == 1  # steady state revalidates
+            writer.append("lifespan", 200, lifespan("b::/48"))  # no sync()
+            body = client.zombies()
+            assert client.revalidations == 1  # full 200, not a false 304
+            assert [z["prefix"] for z in body["zombies"]] == \
+                ["a::/48", "b::/48"]
+        finally:
+            server.stop()
+
+    def test_if_none_match_star_does_not_shadow_404(self, served):
+        store, server, client = served
+        for path in ("/nope", "/zombies/2001%3Adb8%3Aff%3A%3A%2F48"):
+            request = urllib.request.Request(
+                server.url + path, headers={"If-None-Match": "*"})
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 404
 
     def test_raw_if_none_match_gets_304_and_headers(self, served):
         store, server, client = served
