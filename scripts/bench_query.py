@@ -12,9 +12,21 @@ repeated ``GET /zombies`` round-trips three ways:
 * ``not_modified``   — conditional requests (``If-None-Match``) answered
   ``304`` from the ETag, no body rendered or transferred.
 
-Reports p50/p99 latency and requests/second per leg, verifies the view
-and cold-scan bodies are byte-identical, and records the view-vs-cold
-p50 speedup (the acceptance bar is >= 10x).
+The same history is then compacted two ways — ``fmt="jsonl"`` and
+``fmt="columnar"`` (DESIGN.md §13) — and the format-sensitive legs run
+against each:
+
+* ``cold_scan_jsonl`` / ``cold_scan_columnar`` — the cold ``/zombies``
+  scan over compacted JSONL vs binary columnar segments (both folded,
+  so the delta is purely the decode path);
+* ``view_rebuild``   — full ``MaterializedViews`` rebuild wall time per
+  format: the cost every generation bump (truncate/compact/repair)
+  imposes on the query layer.
+
+Reports p50/p99 latency and requests/second per leg, verifies all
+cold-scan bodies are byte-identical, and records the p50 speedups
+(acceptance bars: view >= 10x over cold scan; columnar >= 8x over
+compacted JSONL on the cold scan and >= 5x on the rebuild).
 
 Usage::
 
@@ -27,6 +39,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import sys
 import tempfile
 import time
@@ -36,7 +49,11 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.observatory import EventStore, ObservatoryServer  # noqa: E402
+from repro.observatory import (  # noqa: E402
+    EventStore,
+    MaterializedViews,
+    ObservatoryServer,
+)
 
 
 def build_store(root: Path, lifespans: int) -> EventStore:
@@ -113,6 +130,39 @@ def strip(leg: dict) -> dict:
     return {k: v for k, v in leg.items() if not k.startswith("_")}
 
 
+def cold_scan_leg(root: Path, requests: int) -> dict:
+    """Serve one store without the view and time cold ``/zombies``."""
+    store = EventStore(root, segment_max_records=2048)
+    server = ObservatoryServer(store, use_view=False).start()
+    try:
+        return time_requests(server.url + "/zombies", requests)
+    finally:
+        server.stop()
+        store.close()
+
+
+def rebuild_leg(root: Path, rounds: int) -> dict:
+    """Full view-rebuild wall time over one store (fresh
+    ``MaterializedViews`` per round — the generation-bump cost)."""
+    store = EventStore(root, segment_max_records=2048, readonly=True)
+    times = []
+    folded = 0
+    try:
+        for _ in range(rounds):
+            views = MaterializedViews(store)
+            views.refresh()
+            times.append(views.stats()["last_rebuild_seconds"])
+            folded = views.events_folded
+    finally:
+        store.close()
+    return {
+        "rounds": rounds,
+        "events_folded": folded,
+        "p50_ms": round(percentile(times, 0.50) * 1e3, 3),
+        "min_ms": round(min(times) * 1e3, 3),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--lifespans", type=int, default=12000,
@@ -134,12 +184,31 @@ def main(argv=None) -> int:
     with tempfile.TemporaryDirectory(prefix="bench_query_") as tmp:
         store = build_store(Path(tmp) / "store", args.lifespans)
         stats = store.stats()
+
+        # The same history compacted both ways: the format-sensitive
+        # legs then differ only in the on-disk decode path.
+        jsonl_root = Path(tmp) / "store_jsonl"
+        columnar_root = Path(tmp) / "store_columnar"
+        compacted = {}
+        for fmt, root in (("jsonl", jsonl_root), ("columnar", columnar_root)):
+            shutil.copytree(Path(tmp) / "store", root)
+            variant = EventStore(root, segment_max_records=2048)
+            variant.compact(fmt=fmt)
+            compacted[fmt] = variant.stats()
+            variant.close()
+
         results["workload"] = {
             "lifespan_events": stats["by_kind"]["lifespan"],
             "events_total": stats["next_seq"],
             "segments": stats["segments"],
             "zombie_prefixes": len({
                 e["prefix"] for e in store.events(kinds=("lifespan",))}),
+            "segment_formats": {
+                "baseline": stats["by_format"],
+                "compacted_jsonl": compacted["jsonl"]["by_format"],
+                "compacted_columnar": compacted["columnar"]["by_format"],
+            },
+            "compacted_events": compacted["columnar"]["events"],
         }
         print(f"store: {stats['next_seq']} events "
               f"({stats['by_kind']['lifespan']} lifespans, "
@@ -178,16 +247,60 @@ def main(argv=None) -> int:
               f"p99 {conditional['p99_ms']:8.3f} ms  "
               f"{conditional['requests_per_second']:7.1f} req/s")
 
+        cold_jsonl = cold_scan_leg(jsonl_root, cold_requests)
+        cold_columnar = cold_scan_leg(columnar_root, cold_requests)
+        assert cold_jsonl["_body"] == cold["_body"], \
+            "compacted-JSONL /zombies body differs from the baseline"
+        assert cold_columnar["_body"] == cold["_body"], \
+            "columnar /zombies body differs from the baseline"
+        print(f"cold_jsonl: p50 {cold_jsonl['p50_ms']:8.3f} ms  "
+              f"p99 {cold_jsonl['p99_ms']:8.3f} ms  "
+              f"{cold_jsonl['requests_per_second']:7.1f} req/s")
+        print(f"  cold_col: p50 {cold_columnar['p50_ms']:8.3f} ms  "
+              f"p99 {cold_columnar['p99_ms']:8.3f} ms  "
+              f"{cold_columnar['requests_per_second']:7.1f} req/s")
+
+        rebuild_rounds = 3 if args.quick else 7
+        rebuild_baseline = rebuild_leg(Path(tmp) / "store", rebuild_rounds)
+        rebuild_jsonl = rebuild_leg(jsonl_root, rebuild_rounds)
+        rebuild_columnar = rebuild_leg(columnar_root, rebuild_rounds)
+        assert rebuild_jsonl["events_folded"] == \
+            rebuild_columnar["events_folded"], "rebuilds folded different " \
+            "event counts across formats"
+        print(f"   rebuild: baseline p50 {rebuild_baseline['p50_ms']:.3f} ms"
+              f"  jsonl p50 {rebuild_jsonl['p50_ms']:.3f} ms  "
+              f"columnar p50 {rebuild_columnar['p50_ms']:.3f} ms "
+              f"({rebuild_jsonl['events_folded']} events compacted)")
+
     results["legs"]["cold_scan"] = strip(cold)
     results["legs"]["view"] = strip(view)
     results["legs"]["not_modified"] = strip(conditional)
+    results["legs"]["cold_scan_jsonl"] = strip(cold_jsonl)
+    results["legs"]["cold_scan_columnar"] = strip(cold_columnar)
+    results["legs"]["view_rebuild"] = {
+        "baseline": rebuild_baseline,
+        "jsonl": rebuild_jsonl,
+        "columnar": rebuild_columnar,
+    }
     results["speedup"] = {
         "view_vs_cold_p50": round(cold["p50_ms"] / view["p50_ms"], 1),
         "not_modified_vs_cold_p50": round(
             cold["p50_ms"] / conditional["p50_ms"], 1),
+        "columnar_vs_jsonl_cold_scan_p50": round(
+            cold_jsonl["p50_ms"] / cold_columnar["p50_ms"], 1),
+        "columnar_vs_baseline_cold_scan_p50": round(
+            cold["p50_ms"] / cold_columnar["p50_ms"], 1),
+        "columnar_vs_jsonl_view_rebuild_p50": round(
+            rebuild_jsonl["p50_ms"] / rebuild_columnar["p50_ms"], 1),
+        "columnar_vs_baseline_view_rebuild_p50": round(
+            rebuild_baseline["p50_ms"] / rebuild_columnar["p50_ms"], 1),
     }
     print(f"speedup (p50): view {results['speedup']['view_vs_cold_p50']}x, "
-          f"304 {results['speedup']['not_modified_vs_cold_p50']}x")
+          f"304 {results['speedup']['not_modified_vs_cold_p50']}x, "
+          f"columnar cold scan "
+          f"{results['speedup']['columnar_vs_jsonl_cold_scan_p50']}x, "
+          f"columnar rebuild "
+          f"{results['speedup']['columnar_vs_jsonl_view_rebuild_p50']}x")
 
     out = Path(args.out)
     out.write_text(json.dumps(results, indent=2, sort_keys=False) + "\n")

@@ -162,6 +162,11 @@ def build_parser() -> argparse.ArgumentParser:
     compact = obs.add_parser(
         "compact", help="fold superseded lifespan events in a store")
     compact.add_argument("store", help="event store directory")
+    compact.add_argument("--format", dest="fmt",
+                         choices=["columnar", "jsonl"], default="columnar",
+                         help="rewrite sealed history in this segment "
+                              "format (default: columnar — binary "
+                              "mmap-read .colseg files)")
 
     mirror = sub.add_parser(
         "mirror", help="HTTP archive transport (serve / sync / verify)")
@@ -548,10 +553,12 @@ def _cmd_observatory_compact(args) -> int:
     from repro.observatory import EventStore
 
     store = EventStore(args.store)
-    result = store.compact()
+    result = store.compact(fmt=args.fmt)
+    formats = store.stats()["by_format"]
     store.close()
+    mix = ", ".join(f"{count} {fmt}" for fmt, count in sorted(formats.items()))
     print(f"compacted: kept {result['kept']}, dropped {result['dropped']} "
-          f"superseded lifespan event(s)")
+          f"superseded lifespan event(s); segments: {mix or 'none'}")
     return 0
 
 

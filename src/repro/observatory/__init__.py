@@ -10,6 +10,10 @@ miniature:
   resumes exactly where it left off;
 * :mod:`repro.observatory.store` is the durable, append-only event
   store the ingest writes and the query layer reads;
+* :mod:`repro.observatory.colseg` is the sealed binary columnar
+  segment format ``observatory compact --format=columnar`` rewrites
+  history into: per-kind column groups, mmap reads, per-column min/max
+  pruning (DESIGN.md §13);
 * :mod:`repro.observatory.server` / :mod:`repro.observatory.client`
   expose the store over a JSON HTTP API with Prometheus-style metrics,
   ETag/304 revalidation, and cursor pagination;
@@ -38,6 +42,7 @@ from repro.observatory.client import (
     ObservatoryProtocolError,
     ObservatoryUnreachable,
 )
+from repro.observatory.colseg import ColsegError, ColumnarSegment
 from repro.observatory.doctor import FsckReport, fsck
 from repro.observatory.ingest import ObservatoryIngest
 from repro.observatory.server import ObservatoryServer
@@ -52,6 +57,8 @@ from repro.observatory.views import MaterializedViews
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "ColsegError",
+    "ColumnarSegment",
     "EventStore",
     "FsckReport",
     "MaterializedViews",

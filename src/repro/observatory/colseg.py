@@ -1,0 +1,696 @@
+"""Sealed binary columnar event segments (``.colseg``).
+
+The JSONL store pays ``json.loads`` per event on every scan; a sealed
+segment is immutable, so that work can be done once at compaction time
+and the result laid out so readers touch only what a query needs.  A
+``.colseg`` file holds the same events as the JSONL segment it
+replaces, grouped by event kind, one packed column per field:
+
+* ``int`` columns are little-endian ``int64`` arrays (the
+  :mod:`repro.mrt.attr_codec` precompiled-``struct`` idiom, read back
+  as a zero-copy ``memoryview.cast`` over the ``mmap``);
+* ``bool`` columns are one byte per row;
+* ``str`` columns are a UTF-8 blob plus a ``uint32`` end-offset array;
+* anything else (lists, nested objects, nulls, mixed types) falls back
+  to a ``json`` column — per-value canonical JSON in a blob, so every
+  JSON-representable event round-trips exactly;
+* a column whose values repeat (prefixes, peer lists) is
+  dictionary-encoded: a ``uint32`` index array into a pool of unique
+  values, decoded once.
+
+Fields absent from some rows carry a presence bytemap.  The event
+``kind`` is implicit in the group and costs nothing.
+
+File layout::
+
+    "CSEG0001"            8-byte magic
+    <column data region>  8-byte-aligned blobs, back to back
+    <footer>              JSON: counts, per-group/per-column offsets,
+                          per-column min/max, crc32 of the data region
+    <footer length>       uint32, little-endian
+    "CSEGEND1"            8-byte tail magic
+
+The footer's per-group ``min_seq``/``max_seq``/``min_time``/
+``max_time``/``min_prefix``/``max_prefix`` let
+:meth:`ColumnarSegment.scan` skip whole kind groups, and decode only
+the filter columns (seq, time, prefix) when a group partially
+overlaps — full event dicts are built only for surviving rows.
+Decoded columns and materialized rows are cached on the instance:
+a sealed segment never changes, so the cache can never go stale.
+
+Writing is deterministic: the same events always produce the same
+bytes, which is what lets two identically-compacted stores stay
+byte-identical (the determinism contract the chaos tests enforce).
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import sys
+import zlib
+from heapq import merge as _heapq_merge
+from itertools import repeat
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Optional, Sequence, Union
+
+__all__ = ["ColsegError", "ColumnarSegment", "write_segment",
+           "COLSEG_SUFFIX"]
+
+COLSEG_SUFFIX = ".colseg"
+
+_MAGIC = b"CSEG0001"
+_TAIL_MAGIC = b"CSEGEND1"
+_VERSION = 1
+
+#: Dictionary-encode a str/json column when the unique values would
+#: occupy at most half the rows — below that the index array plus the
+#: pool is both smaller and faster to decode than per-row values.
+_DICT_RATIO = 2
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+_LITTLE = sys.byteorder == "little"
+
+_MISSING = object()
+
+
+class ColsegError(ValueError):
+    """A ``.colseg`` file that cannot be read: bad magic, unsupported
+    version, an unparseable footer, or column geometry that does not
+    agree with the footer's counts."""
+
+
+# ---------------------------------------------------------------------------
+# writing
+
+
+class _BlobWriter:
+    """Accumulates the 8-byte-aligned column data region."""
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+
+    def write(self, data: bytes) -> tuple[int, int]:
+        """Append one blob; returns ``(offset, length)`` (offsets are
+        relative to the start of the data region)."""
+        pad = (-len(self.buffer)) % 8
+        self.buffer += b"\x00" * pad
+        offset = len(self.buffer)
+        self.buffer += data
+        return offset, len(data)
+
+
+def _classify(values: Sequence[Any]) -> str:
+    if all(isinstance(v, bool) for v in values):
+        return "bool"
+    if all(isinstance(v, int) and not isinstance(v, bool)
+           and _INT64_MIN <= v <= _INT64_MAX for v in values):
+        return "int"
+    if all(isinstance(v, str) for v in values):
+        return "str"
+    return "json"
+
+
+def _encode_values(blobs: _BlobWriter, values: Sequence[Any],
+                   kind: str) -> dict[str, Any]:
+    """Encode one run of present values as a typed column body."""
+    desc: dict[str, Any] = {"type": kind}
+    if kind == "int":
+        offset, length = blobs.write(
+            struct.pack(f"<{len(values)}q", *values))
+        desc.update(offset=offset, length=length,
+                    min=min(values) if values else None,
+                    max=max(values) if values else None)
+    elif kind == "bool":
+        offset, length = blobs.write(bytes(1 if v else 0 for v in values))
+        desc.update(offset=offset, length=length)
+    else:  # str / json blobs with uint32 end offsets
+        if kind == "json":
+            encoded = [json.dumps(v, sort_keys=True).encode("utf-8")
+                       for v in values]
+        else:
+            encoded = [v.encode("utf-8") for v in values]
+        ends, cursor = [], 0
+        for piece in encoded:
+            cursor += len(piece)
+            ends.append(cursor)
+        if cursor > 0xFFFFFFFF:
+            raise ColsegError("column blob exceeds uint32 offsets; "
+                             "use smaller segments")
+        ends_off, ends_len = blobs.write(struct.pack(f"<{len(ends)}I", *ends))
+        blob_off, blob_len = blobs.write(b"".join(encoded))
+        desc.update(ends_offset=ends_off, ends_length=ends_len,
+                    blob_offset=blob_off, blob_length=blob_len)
+    return desc
+
+
+def _encode_column(blobs: _BlobWriter, name: str, rows: list[dict[str, Any]]
+                   ) -> dict[str, Any]:
+    present = [name in row for row in rows]
+    values = [row[name] for row in rows if name in row]
+    kind = _classify(values)
+    if kind in ("str", "json") and values:
+        # Dictionary-encode repetitive columns (prefixes, peer lists):
+        # unique pool in first-occurrence order keeps the bytes
+        # deterministic for identical event histories.
+        keys = values if kind == "str" else [
+            json.dumps(v, sort_keys=True) for v in values]
+        pool_index: dict[str, int] = {}
+        indexes = []
+        pool_values = []
+        for key, value in zip(keys, values):
+            slot = pool_index.get(key)
+            if slot is None:
+                slot = len(pool_values)
+                pool_index[key] = slot
+                pool_values.append(value)
+            indexes.append(slot)
+        if len(pool_values) * _DICT_RATIO <= len(values):
+            idx_off, idx_len = blobs.write(
+                struct.pack(f"<{len(indexes)}I", *indexes))
+            desc = {"type": "dict", "index_offset": idx_off,
+                    "index_length": idx_len,
+                    "values": _encode_values(blobs, pool_values, kind)}
+        else:
+            desc = _encode_values(blobs, values, kind)
+    else:
+        desc = _encode_values(blobs, values, kind)
+    desc["name"] = name
+    if all(present):
+        desc["present"] = None
+    else:
+        offset, length = blobs.write(bytes(1 if p else 0 for p in present))
+        desc["present"] = {"offset": offset, "length": length,
+                           "count": len(values)}
+    return desc
+
+
+def write_segment(path: Union[str, Path],
+                  events: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Write ``events`` (seq-ascending) as one ``.colseg`` file.
+
+    Returns the footer that was written (handy for tests).  The caller
+    owns atomicity — write to a temp name and rename, as compaction
+    does.
+    """
+    events = list(events)
+    if not events:
+        raise ColsegError("a columnar segment cannot be empty")
+    last = None
+    for event in events:
+        seq = event["seq"]
+        if last is not None and seq <= last:
+            raise ColsegError("events must be strictly seq-ascending")
+        last = seq
+
+    groups: dict[str, list[dict[str, Any]]] = {}
+    for event in events:
+        groups.setdefault(event["kind"], []).append(event)
+
+    blobs = _BlobWriter()
+    group_descs = []
+    for kind in sorted(groups):
+        rows = groups[kind]
+        names = sorted({name for row in rows for name in row} - {"kind"})
+        columns = [_encode_column(blobs, name, rows) for name in names]
+        seqs = [row["seq"] for row in rows]
+        times = [row["time"] for row in rows
+                 if isinstance(row.get("time"), int)]
+        prefixes = [row["prefix"] for row in rows
+                    if isinstance(row.get("prefix"), str)]
+        group_descs.append({
+            "kind": kind,
+            "count": len(rows),
+            "min_seq": seqs[0],
+            "max_seq": seqs[-1],
+            "min_time": min(times) if times else None,
+            "max_time": max(times) if times else None,
+            # Prefix bounds are only a safe skip test when every row
+            # has a string prefix; otherwise a filtered scan must look
+            # at the rows.
+            "min_prefix": min(prefixes) if len(prefixes) == len(rows)
+            else None,
+            "max_prefix": max(prefixes) if len(prefixes) == len(rows)
+            else None,
+            "columns": columns,
+        })
+
+    times = [e["time"] for e in events if isinstance(e.get("time"), int)]
+    footer = {
+        "version": _VERSION,
+        "count": len(events),
+        "first_seq": events[0]["seq"],
+        "last_seq": events[-1]["seq"],
+        "min_time": min(times) if times else None,
+        "max_time": max(times) if times else None,
+        "crc32": zlib.crc32(bytes(blobs.buffer)),
+        "groups": group_descs,
+    }
+    footer_bytes = json.dumps(footer, sort_keys=True).encode("utf-8")
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(bytes(blobs.buffer))
+        handle.write(footer_bytes)
+        handle.write(struct.pack("<I", len(footer_bytes)))
+        handle.write(_TAIL_MAGIC)
+        handle.flush()
+    return footer
+
+
+# ---------------------------------------------------------------------------
+# reading
+
+
+class _Group:
+    """One kind group: footer metadata plus lazily decoded columns."""
+
+    def __init__(self, desc: dict[str, Any]) -> None:
+        self.kind: str = desc["kind"]
+        self.count: int = desc["count"]
+        self.min_seq: int = desc["min_seq"]
+        self.max_seq: int = desc["max_seq"]
+        self.min_time: Optional[int] = desc["min_time"]
+        self.max_time: Optional[int] = desc["max_time"]
+        self.min_prefix: Optional[str] = desc.get("min_prefix")
+        self.max_prefix: Optional[str] = desc.get("max_prefix")
+        self.columns: list[dict[str, Any]] = desc["columns"]
+        #: column name -> row-aligned value list (``_MISSING`` where the
+        #: field is absent); filled on first touch.
+        self.full_cols: dict[str, list[Any]] = {}
+        self.rows: Optional[list[dict[str, Any]]] = None
+
+
+class ColumnarSegment:
+    """mmap-backed reader for one ``.colseg`` file.
+
+    Opening validates the envelope and column geometry (cheap);
+    :meth:`verify` additionally checks the data-region crc32 and
+    recomputes every recorded min/max — the doctor's fsck pass.
+    Decoded columns and built rows are cached on the instance (sealed
+    segments are immutable), so repeated scans touch no disk at all.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._file = open(self.path, "rb")
+        try:
+            size = os.fstat(self._file.fileno()).st_size
+            if size < len(_MAGIC) + 4 + len(_TAIL_MAGIC):
+                raise ColsegError(
+                    f"not a columnar segment: {self.path.name}")
+            self._mmap: Optional[mmap.mmap] = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ)
+        except ColsegError:
+            self._file.close()
+            raise
+        except (OSError, ValueError) as exc:
+            self._file.close()
+            raise ColsegError(f"cannot map columnar segment "
+                              f"{self.path.name}: {exc}")
+        try:
+            self._parse(memoryview(self._mmap), size)
+        except Exception:
+            self._data = memoryview(b"")
+            self.close()
+            raise
+
+    def _parse(self, data: memoryview, size: int) -> None:
+        if bytes(data[:len(_MAGIC)]) != _MAGIC:
+            raise ColsegError(f"not a columnar segment: {self.path.name}")
+        if bytes(data[-len(_TAIL_MAGIC):]) != _TAIL_MAGIC:
+            raise ColsegError(f"truncated columnar segment "
+                              f"(bad tail magic): {self.path.name}")
+        (footer_len,) = struct.unpack_from(
+            "<I", data, size - len(_TAIL_MAGIC) - 4)
+        footer_end = size - len(_TAIL_MAGIC) - 4
+        footer_start = footer_end - footer_len
+        if footer_start < len(_MAGIC):
+            raise ColsegError(f"footer length {footer_len} overruns the "
+                              f"file: {self.path.name}")
+        try:
+            footer = json.loads(bytes(data[footer_start:footer_end]))
+            if footer.get("version") != _VERSION:
+                raise ColsegError(
+                    f"unsupported columnar segment version "
+                    f"{footer.get('version')!r}: {self.path.name}")
+            self.count: int = footer["count"]
+            self.first_seq: int = footer["first_seq"]
+            self.last_seq: int = footer["last_seq"]
+            self.min_time: Optional[int] = footer["min_time"]
+            self.max_time: Optional[int] = footer["max_time"]
+            self.crc32: int = footer["crc32"]
+            self._groups = [_Group(desc) for desc in footer["groups"]]
+        except ColsegError:
+            raise
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ColsegError(f"unreadable columnar segment footer: "
+                              f"{self.path.name}: {exc}")
+        self._data = data[len(_MAGIC):footer_start]
+        self._validate_geometry()
+
+    # -- envelope ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap the file.  Column decode and :meth:`verify` need the
+        map; already-decoded columns and cached rows are plain Python
+        objects and stay usable."""
+        self._data.release()
+        self._data = memoryview(b"")
+        if self._mmap is not None:
+            try:
+                self._mmap.close()
+            except BufferError:
+                # An in-flight exception traceback still references a
+                # view of the map; it unmaps when that is collected.
+                pass
+            self._mmap = None
+        if not self._file.closed:
+            self._file.close()
+
+    @property
+    def kinds(self) -> set[str]:
+        return {group.kind for group in self._groups}
+
+    def _validate_geometry(self) -> None:
+        total = 0
+        for group in self._groups:
+            total += group.count
+            for column in group.columns:
+                self._check_column(group, column)
+        if total != self.count:
+            raise ColsegError(
+                f"group counts sum to {total}, footer says {self.count}: "
+                f"{self.path.name}")
+
+    def _check_column(self, group: _Group, desc: dict[str, Any]) -> None:
+        present = desc.get("present")
+        count = group.count if present is None else present["count"]
+        if present is not None:
+            self._check_blob(present["offset"], present["length"])
+            if present["length"] != group.count:
+                raise ColsegError(
+                    f"presence map length {present['length']} != group "
+                    f"count {group.count} for column "
+                    f"{desc.get('name')!r}: {self.path.name}")
+        self._check_body(desc, count)
+
+    def _check_body(self, desc: dict[str, Any], count: int) -> None:
+        kind = desc["type"]
+        name = desc.get("name", "<pool>")
+        if kind == "int":
+            self._check_blob(desc["offset"], desc["length"])
+            if desc["length"] != 8 * count:
+                raise ColsegError(f"int column {name!r} holds "
+                                  f"{desc['length']} bytes for {count} "
+                                  f"rows: {self.path.name}")
+        elif kind == "bool":
+            self._check_blob(desc["offset"], desc["length"])
+            if desc["length"] != count:
+                raise ColsegError(f"bool column {name!r} holds "
+                                  f"{desc['length']} bytes for {count} "
+                                  f"rows: {self.path.name}")
+        elif kind in ("str", "json"):
+            self._check_blob(desc["ends_offset"], desc["ends_length"])
+            self._check_blob(desc["blob_offset"], desc["blob_length"])
+            if desc["ends_length"] != 4 * count:
+                raise ColsegError(f"offset column {name!r} holds "
+                                  f"{desc['ends_length']} bytes for "
+                                  f"{count} rows: {self.path.name}")
+        elif kind == "dict":
+            self._check_blob(desc["index_offset"], desc["index_length"])
+            if desc["index_length"] != 4 * count:
+                raise ColsegError(f"dict column {name!r} holds "
+                                  f"{desc['index_length']} index bytes "
+                                  f"for {count} rows: {self.path.name}")
+            pool = desc["values"]
+            pool_count = (pool["length"] // 8 if pool["type"] == "int"
+                          else pool["length"] if pool["type"] == "bool"
+                          else pool["ends_length"] // 4)
+            self._check_body(pool, pool_count)
+        else:
+            raise ColsegError(f"unknown column type {kind!r}: "
+                              f"{self.path.name}")
+
+    def _check_blob(self, offset: int, length: int) -> None:
+        if not (isinstance(offset, int) and isinstance(length, int)
+                and 0 <= offset and 0 <= length
+                and offset + length <= len(self._data)):
+            raise ColsegError(f"column blob [{offset}, {offset}+{length}) "
+                              f"overruns the data region: {self.path.name}")
+
+    # -- column decode -----------------------------------------------------
+
+    def _ints(self, offset: int, length: int) -> list[int]:
+        view = self._data[offset:offset + length]
+        if _LITTLE:
+            return list(view.cast("q"))
+        return list(struct.unpack(f"<{length // 8}q", view))
+
+    def _u32s(self, offset: int, length: int) -> list[int]:
+        view = self._data[offset:offset + length]
+        if _LITTLE:
+            return list(view.cast("I"))
+        return list(struct.unpack(f"<{length // 4}I", view))
+
+    def _body_values(self, desc: dict[str, Any]) -> list[Any]:
+        kind = desc["type"]
+        if kind == "int":
+            return self._ints(desc["offset"], desc["length"])
+        if kind == "bool":
+            return [b == 1 for b in
+                    bytes(self._data[desc["offset"]:desc["offset"]
+                                     + desc["length"]])]
+        if kind in ("str", "json"):
+            ends = self._u32s(desc["ends_offset"], desc["ends_length"])
+            blob = self._data[desc["blob_offset"]:desc["blob_offset"]
+                              + desc["blob_length"]]
+            out, start = [], 0
+            if kind == "str":
+                for end in ends:
+                    out.append(bytes(blob[start:end]).decode("utf-8"))
+                    start = end
+            else:
+                loads = json.loads
+                for end in ends:
+                    out.append(loads(bytes(blob[start:end])))
+                    start = end
+            return out
+        # dict: index into the decoded unique pool
+        pool = self._body_values(desc["values"])
+        indexes = self._u32s(desc["index_offset"], desc["index_length"])
+        if any(i >= len(pool) for i in indexes):
+            raise ColsegError(f"dict column {desc.get('name')!r} indexes "
+                              f"past its value pool: {self.path.name}")
+        return [pool[i] for i in indexes]
+
+    def _full_column(self, group: _Group, name: str) -> list[Any]:
+        """Row-aligned values for one column (``_MISSING`` sentinel for
+        rows the field is absent from); cached."""
+        cached = group.full_cols.get(name)
+        if cached is not None:
+            return cached
+        desc = next((c for c in group.columns if c["name"] == name), None)
+        if desc is None:
+            full: list[Any] = [_MISSING] * group.count
+        else:
+            values = self._body_values(desc)
+            present = desc.get("present")
+            if present is None:
+                full = values
+            else:
+                flags = bytes(self._data[present["offset"]:
+                                         present["offset"]
+                                         + present["length"]])
+                it = iter(values)
+                full = [next(it) if flag else _MISSING for flag in flags]
+        group.full_cols[name] = full
+        return full
+
+    # -- row materialization ----------------------------------------------
+
+    def _rows(self, group: _Group) -> list[dict[str, Any]]:
+        if group.rows is not None:
+            return group.rows
+        names = ["kind"] + [c["name"] for c in group.columns]
+        cols: list[Any] = [repeat(group.kind, group.count)]
+        partials = []
+        for desc in group.columns:
+            if desc.get("present") is None:
+                cols.append(self._full_column(group, desc["name"]))
+            else:
+                # Patched in below; keep zip geometry with a filler.
+                partials.append(desc["name"])
+                cols.append(repeat(_MISSING, group.count))
+        rows = [dict(zip(names, tup)) for tup in zip(*cols)]
+        for name in partials:
+            full = self._full_column(group, name)
+            for row, value in zip(rows, full):
+                if value is _MISSING:
+                    del row[name]
+                else:
+                    row[name] = value
+        group.rows = rows
+        return rows
+
+    def _build_row(self, group: _Group, index: int) -> dict[str, Any]:
+        row = {"kind": group.kind}
+        for desc in group.columns:
+            value = self._full_column(group, desc["name"])[index]
+            if value is not _MISSING:
+                row[desc["name"]] = value
+        return row
+
+    # -- queries -----------------------------------------------------------
+
+    def last_event(self) -> dict[str, Any]:
+        """The event with the highest seq (the tail-probe primitive)."""
+        group = max(self._groups, key=lambda g: g.max_seq)
+        if group.rows is not None:
+            return group.rows[-1]
+        return self._build_row(group, group.count - 1)
+
+    def scan(self, kinds: Optional[frozenset] = None,
+             prefix: Optional[str] = None,
+             since: Optional[int] = None,
+             until: Optional[int] = None,
+             min_seq: Optional[int] = None) -> Iterator[dict[str, Any]]:
+        """Matching events in seq order.
+
+        Filter semantics mirror ``EventStore.events``: ``kinds`` is a
+        set of event kinds, ``prefix`` an exact match (rows without a
+        prefix never match), ``[since, until)`` a half-open time window
+        (rows without an integer time never match a windowed query),
+        ``min_seq`` a watermark.  Groups the footer's min/max rule out
+        are skipped without touching their columns; groups that pass
+        outright are yielded from the cached row lists; only partially
+        overlapping groups decode their filter columns, and full rows
+        are built just for the survivors.
+        """
+        runs = []
+        for group in self._groups:
+            if kinds is not None and group.kind not in kinds:
+                continue
+            if min_seq is not None and group.max_seq < min_seq:
+                continue
+            if since is not None and group.max_time is not None \
+                    and group.max_time < since and self._times_total(group):
+                continue
+            if until is not None and group.min_time is not None \
+                    and group.min_time >= until:
+                continue
+            if prefix is not None and group.min_prefix is not None \
+                    and not (group.min_prefix <= prefix
+                             <= group.max_prefix):
+                continue
+            rows = self._scan_group(group, prefix, since, until, min_seq)
+            if rows:
+                runs.append(rows)
+        if not runs:
+            return iter(())
+        if len(runs) == 1:
+            return iter(runs[0])
+        return _heapq_merge(*runs, key=lambda event: event["seq"])
+
+    def _times_total(self, group: _Group) -> bool:
+        """Whether the time bounds cover every row (no absent/non-int
+        times), making max_time < since a safe whole-group skip.
+        Windowed queries exclude timeless rows anyway, so min_time >=
+        until is always safe; this guard only matters for max_time."""
+        desc = next((c for c in group.columns if c["name"] == "time"), None)
+        return (desc is not None and desc.get("present") is None
+                and desc["type"] == "int")
+
+    def _scan_group(self, group: _Group, prefix: Optional[str],
+                    since: Optional[int], until: Optional[int],
+                    min_seq: Optional[int]) -> list[dict[str, Any]]:
+        need_seq = min_seq is not None and min_seq > group.min_seq
+        need_time = ((since is not None
+                      and not (group.min_time is not None
+                               and group.min_time >= since
+                               and self._times_total(group)))
+                     or (until is not None
+                         and not (group.max_time is not None
+                                  and group.max_time < until
+                                  and self._times_total(group))))
+        need_prefix = prefix is not None and not (
+            group.min_prefix is not None
+            and group.min_prefix == group.max_prefix == prefix)
+        if not (need_seq or need_time or need_prefix):
+            return self._rows(group)
+
+        start = 0
+        if need_seq:
+            seqs = self._full_column(group, "seq")
+            lo, hi = 0, group.count  # rows are seq-ascending
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if seqs[mid] < min_seq:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            start = lo
+            if not (need_prefix or need_time):
+                # Pure watermark delta (the views' refresh scan): slice
+                # the cached rows instead of rebuilding them one by one.
+                return self._rows(group)[start:]
+        indexes = range(start, group.count)
+        if need_prefix:
+            prefixes = self._full_column(group, "prefix")
+            indexes = [i for i in indexes if prefixes[i] == prefix]
+        if need_time:
+            times = self._full_column(group, "time")
+            indexes = [i for i in indexes
+                       if isinstance(times[i], int)
+                       and (since is None or times[i] >= since)
+                       and (until is None or times[i] < until)]
+        if group.rows is not None:
+            return [group.rows[i] for i in indexes]
+        return [self._build_row(group, i) for i in indexes]
+
+    # -- verification ------------------------------------------------------
+
+    def verify(self) -> list[str]:
+        """Deep fsck: crc32 of the data region, column min/max
+        consistency, and per-group seq/time bound agreement.  Returns
+        issue strings (empty == sound).  Envelope and geometry were
+        already validated at open time."""
+        issues = []
+        actual_crc = zlib.crc32(bytes(self._data))
+        if actual_crc != self.crc32:
+            issues.append(f"data region crc32 {actual_crc:#010x} != "
+                          f"footer {self.crc32:#010x}")
+            return issues  # column contents are untrustworthy
+        for group in self._groups:
+            try:
+                seqs = self._full_column(group, "seq")
+            except ColsegError as exc:
+                issues.append(str(exc))
+                continue
+            if seqs and (seqs[0] != group.min_seq
+                         or seqs[-1] != group.max_seq
+                         or any(b <= a for a, b in zip(seqs, seqs[1:]))):
+                issues.append(f"group {group.kind!r} seq column disagrees "
+                              f"with footer bounds "
+                              f"[{group.min_seq}, {group.max_seq}]")
+            for desc in group.columns:
+                if desc["type"] != "int":
+                    continue
+                try:
+                    values = [v for v in
+                              self._full_column(group, desc["name"])
+                              if v is not _MISSING]
+                except ColsegError as exc:
+                    issues.append(str(exc))
+                    continue
+                if values and (min(values) != desc["min"]
+                               or max(values) != desc["max"]):
+                    issues.append(
+                        f"column {desc['name']!r} of group "
+                        f"{group.kind!r}: recorded min/max "
+                        f"[{desc['min']}, {desc['max']}] != actual "
+                        f"[{min(values)}, {max(values)}]")
+        return issues

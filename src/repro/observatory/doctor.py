@@ -4,24 +4,28 @@ The store's own open-time recovery only handles the *expected* crash
 artefact (a partially written trailing line in the active segment).
 The doctor handles the rest of the failure model:
 
-* **torn segments** — partial trailing lines, in any segment;
+* **torn segments** — partial trailing lines, in any JSONL segment;
 * **bit rot** — a sealed segment whose bytes no longer match the
-  sha256 recorded in the manifest at seal time;
+  sha256 recorded in the manifest at seal time, or a binary columnar
+  segment whose envelope, column geometry, checksum, or footer
+  min/max no longer hold together (columnar files are deep-checked
+  with :meth:`~repro.observatory.colseg.ColumnarSegment.verify`);
 * **orphaned files** — segment files on disk the manifest does not
   know about (artefacts of an interrupted truncate/compact);
 * **manifest drift** — counts/indexes that disagree with segment
   contents, missing seal hashes, seq discontinuities between segments,
   or a manifest that is itself unreadable.
 
-Repair policy: consistency over completeness.  Torn tails are cut
-back to the last complete line; orphans are moved aside (renamed with
-an ``.orphan`` suffix, never deleted); drifted manifest entries are
-rebuilt from segment contents; an unreadable manifest is rebuilt from
-the segment files themselves.  Damage to *sealed* bytes — bit rot or a
-missing sealed segment — cannot be undone, so repair truncates the
-store at the first damaged seq to restore a consistent prefix, and the
-run reports the loss: :func:`fsck` exits the CLI nonzero whenever
-events were (or would be) lost.
+Repair policy: consistency over completeness.  Torn JSONL tails are
+cut back to the last complete line; orphans are moved aside (renamed
+with an ``.orphan`` suffix, never deleted); drifted manifest entries
+are rebuilt from segment contents; an unreadable manifest is rebuilt
+from the segment files themselves.  Damage to *sealed* bytes — bit
+rot, a corrupt columnar segment, or a missing sealed segment — cannot
+be undone (a binary segment has no salvageable line-prefix), so repair
+truncates the store at the first damaged seq to restore a consistent
+prefix, and the run reports the loss: :func:`fsck` exits the CLI
+nonzero whenever events were (or would be) lost.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Optional, Union
 
+from repro.observatory.colseg import ColsegError, ColumnarSegment
 from repro.observatory.store import (
     MANIFEST_VERSION,
     _complete_lines,
@@ -41,7 +46,16 @@ from repro.observatory.store import (
 
 __all__ = ["FsckReport", "fsck"]
 
-_SEGMENT_RE = re.compile(r"^seg-(\d{8})\.jsonl$")
+_SEGMENT_RE = re.compile(r"^seg-(\d{8})\.(jsonl|colseg)$")
+
+
+def _segment_files(root: Path) -> list[Path]:
+    """Segment files of both formats, name-sorted (== seq-sorted)."""
+    return sorted([*root.glob("seg-*.jsonl"), *root.glob("seg-*.colseg")])
+
+
+def _not_ascending(seqs: list) -> bool:
+    return any(b <= a for a, b in zip(seqs, seqs[1:]))
 
 
 @dataclass
@@ -134,6 +148,42 @@ def _scan_segment(path: Path) -> tuple[Optional[_Segment], list[int], int]:
     return entry, [event["seq"] for event in events], torn
 
 
+def _scan_columnar(path: Path
+                   ) -> tuple[Optional[_Segment], list[int], list[str]]:
+    """Deep-check one ``.colseg`` file: returns (rebuilt entry, seqs,
+    issue strings).
+
+    Open-time validation covers envelope magic/version, footer shape,
+    and column-length agreement; :meth:`ColumnarSegment.verify` adds
+    the data-region checksum and footer min/max consistency.  A file
+    that fails any of it yields ``(None, [], issues)`` — a binary
+    segment has no salvageable prefix the way a torn JSONL file does.
+    """
+    try:
+        reader = ColumnarSegment(path)
+    except (ColsegError, OSError) as exc:
+        return None, [], [f"unreadable columnar segment {path.name}: {exc}"]
+    try:
+        issues = [f"{path.name}: {text}" for text in reader.verify()]
+        events = list(reader.scan())
+    except (ColsegError, ValueError) as exc:
+        return None, [], [f"corrupt columnar segment {path.name}: {exc}"]
+    finally:
+        reader.close()
+    if issues:
+        return None, [], issues
+    if not events:
+        return None, [], [f"columnar segment {path.name} holds no events"]
+    match = _SEGMENT_RE.match(path.name)
+    first_seq = int(match.group(1)) if match else events[0]["seq"]
+    entry = _Segment(name=path.name, first_seq=first_seq,
+                     format="columnar")
+    for event in events:
+        entry.note(event)
+    entry.sealed = True
+    return entry, [event["seq"] for event in events], []
+
+
 def _truncate_file(path: Path, keep: int) -> None:
     with open(path, "r+b") as handle:
         handle.truncate(keep)
@@ -196,7 +246,7 @@ def fsck(root: Union[str, Path], repair: bool = False) -> FsckReport:
     known = {segment.name for segment in manifest_segments}
 
     # Orphaned segment files: on disk, unknown to the manifest.
-    for path in sorted(root.glob("seg-*.jsonl")):
+    for path in _segment_files(root):
         if path.name in known:
             continue
         report.orphan_files += 1
@@ -213,10 +263,14 @@ def fsck(root: Union[str, Path], repair: bool = False) -> FsckReport:
         is_active = position == len(manifest_segments) - 1 \
             and not entry.sealed
         path = root / entry.name
-        if expected_seq is not None and entry.first_seq != expected_seq:
+        # Compaction folds events *inside* segments, so seqs are gapped
+        # — both across and within segments — and only *order* can be
+        # checked: overlap is damage, a gap is not.
+        if expected_seq is not None and entry.first_seq < expected_seq:
             report.issue(
-                f"seq gap before {entry.name}: expected first_seq "
-                f"{expected_seq}, manifest says {entry.first_seq}")
+                f"overlapping seqs before {entry.name}: previous segment "
+                f"ends at {expected_seq - 1}, manifest says first_seq "
+                f"{entry.first_seq}")
             damaged_from = expected_seq
             break
         if not path.exists():
@@ -240,6 +294,33 @@ def fsck(root: Union[str, Path], repair: bool = False) -> FsckReport:
                     f"{actual[:12]}… != manifest {entry.sha256[:12]}…")
                 damaged_from = entry.first_seq
                 break
+        if entry.format == "columnar":
+            rebuilt, seqs, colseg_issues = _scan_columnar(path)
+            if rebuilt is None:
+                report.bitrot_segments += 1
+                for text in colseg_issues:
+                    report.issue(text)
+                damaged_from = entry.first_seq
+                break
+            report.events_checked += rebuilt.count
+            if seqs[0] != entry.first_seq or _not_ascending(seqs):
+                report.issue(f"non-ascending seqs inside {entry.name}")
+                damaged_from = entry.first_seq
+                break
+            rebuilt.sha256 = entry.sha256
+            if rebuilt.to_json() != entry.to_json():
+                report.drifted_entries += 1
+                report.issue(f"manifest entry for {entry.name} does not "
+                             f"match segment contents")
+            if entry.sha256 is None:
+                report.issue(f"sealed segment {entry.name} has no "
+                             f"recorded sha256")
+                if repair:
+                    rebuilt.sha256 = file_sha256(path)
+                    report.action(f"recorded sha256 for {entry.name}")
+            surviving.append(rebuilt)
+            expected_seq = rebuilt.end_seq
+            continue
         rebuilt, seqs, torn = _scan_segment(path)
         if torn:
             report.torn_segments += 1
@@ -262,9 +343,8 @@ def fsck(root: Union[str, Path], repair: bool = False) -> FsckReport:
         if rebuilt is None:
             rebuilt = _Segment(name=entry.name, first_seq=entry.first_seq)
         report.events_checked += rebuilt.count
-        if seqs and (seqs[0] != entry.first_seq
-                     or seqs != list(range(seqs[0], seqs[0] + len(seqs)))):
-            report.issue(f"non-contiguous seqs inside {entry.name}")
+        if seqs and (seqs[0] != entry.first_seq or _not_ascending(seqs)):
+            report.issue(f"non-ascending seqs inside {entry.name}")
             damaged_from = entry.first_seq
             break
         expected = entry.to_json()
@@ -281,7 +361,7 @@ def fsck(root: Union[str, Path], repair: bool = False) -> FsckReport:
                 rebuilt.sha256 = file_sha256(path)
                 report.action(f"recorded sha256 for {entry.name}")
         surviving.append(rebuilt)
-        expected_seq = rebuilt.first_seq + rebuilt.count
+        expected_seq = rebuilt.end_seq
 
     if damaged_from is not None:
         doomed = max(0, next_seq - damaged_from)
@@ -300,8 +380,7 @@ def fsck(root: Union[str, Path], repair: bool = False) -> FsckReport:
             report.action(f"truncated store at seq {damaged_from} "
                           f"({doomed} events lost)")
     else:
-        tail_end = (surviving[-1].first_seq + surviving[-1].count
-                    if surviving else 0)
+        tail_end = surviving[-1].end_seq if surviving else 0
         if next_seq != tail_end:
             report.issue(f"manifest next_seq {next_seq} != end of last "
                          f"segment {tail_end}")
@@ -310,7 +389,9 @@ def fsck(root: Union[str, Path], repair: bool = False) -> FsckReport:
             next_seq = tail_end
 
     if repair and not report.clean:
-        if surviving:
+        # Reopen the tail for appends — a columnar tail stays sealed
+        # (the binary format is immutable; the store appends after it).
+        if surviving and surviving[-1].format == "jsonl":
             surviving[-1].sealed = False
             surviving[-1].sha256 = None
         # A new generation: watermark readers must not trust history
@@ -326,29 +407,43 @@ def _rebuild_from_files(root: Path, report: FsckReport) -> FsckReport:
     seal hashes died with the manifest), which the report says out loud."""
     segments: list[_Segment] = []
     expected_seq: Optional[int] = None
-    for path in sorted(root.glob("seg-*.jsonl")):
+    for path in _segment_files(root):
         report.segments_checked += 1
-        entry, seqs, torn = _scan_segment(path)
-        if torn:
-            report.torn_segments += 1
-            report.issue(f"torn segment {path.name}: {torn} trailing bytes")
-            if report.repair:
-                _truncate_file(path, path.stat().st_size - torn)
-                report.action(f"cut {torn} torn bytes from {path.name}")
-        if entry is None:
-            continue
-        if expected_seq is not None and entry.first_seq != expected_seq:
-            report.issue(f"seq gap before {path.name}: {expected_seq} "
-                         f"expected, file starts at {entry.first_seq}")
-            report.events_lost += entry.count  # history after the gap
+        if path.suffix == ".colseg":
+            entry, seqs, colseg_issues = _scan_columnar(path)
+            if entry is None:
+                report.bitrot_segments += 1
+                for text in colseg_issues:
+                    report.issue(text)
+                if report.repair:
+                    path.rename(path.with_name(path.name + ".orphan"))
+                    report.action(f"moved corrupt {path.name} aside")
+                continue
+        else:
+            entry, seqs, torn = _scan_segment(path)
+            if torn:
+                report.torn_segments += 1
+                report.issue(f"torn segment {path.name}: {torn} "
+                             f"trailing bytes")
+                if report.repair:
+                    _truncate_file(path, path.stat().st_size - torn)
+                    report.action(f"cut {torn} torn bytes from {path.name}")
+            if entry is None:
+                continue
+        # Seq gaps are legitimate (compaction folds events in place),
+        # so only *order* violations condemn a file here.
+        if expected_seq is not None and entry.first_seq < expected_seq:
+            report.issue(f"overlapping seqs before {path.name}: previous "
+                         f"file ends at {expected_seq - 1}, this one "
+                         f"starts at {entry.first_seq}")
+            report.events_lost += entry.count
             if report.repair:
                 path.rename(path.with_name(path.name + ".orphan"))
-                report.action(f"moved post-gap {path.name} aside")
+                report.action(f"moved overlapping {path.name} aside")
             continue
         report.events_checked += entry.count
-        if seqs[0] != entry.first_seq \
-                or seqs != list(range(seqs[0], seqs[0] + len(seqs))):
-            report.issue(f"non-contiguous seqs inside {path.name}")
+        if seqs[0] != entry.first_seq or _not_ascending(seqs):
+            report.issue(f"non-ascending seqs inside {path.name}")
             report.events_lost += entry.count
             if report.repair:
                 path.rename(path.with_name(path.name + ".orphan"))
@@ -358,13 +453,12 @@ def _rebuild_from_files(root: Path, report: FsckReport) -> FsckReport:
         if report.repair:
             entry.sha256 = file_sha256(path)
         segments.append(entry)
-        expected_seq = entry.first_seq + entry.count
+        expected_seq = entry.end_seq
     report.issue("sealed-history integrity is unverifiable without the "
                  "original manifest hashes")
     if report.repair:
-        next_seq = (segments[-1].first_seq + segments[-1].count
-                    if segments else 0)
-        if segments:
+        next_seq = segments[-1].end_seq if segments else 0
+        if segments and segments[-1].format == "jsonl":
             segments[-1].sealed = False
             segments[-1].sha256 = None
         _write_manifest(root, segments, next_seq,

@@ -306,6 +306,7 @@ class ObservatoryServer:
         stats = self.store.stats()
         body = {"status": "ok", "events": stats["next_seq"],
                 "segments": stats["segments"],
+                "segment_formats": stats["by_format"],
                 "generation": stats["generation"],
                 "ingest_finished": (self.ingest.finished
                                     if self.ingest is not None else None)}
@@ -442,6 +443,10 @@ class ObservatoryServer:
                "Events appended to the store over its lifetime.")
         metric("observatory_store_segments", store["segments"],
                "Segment files in the event store.")
+        for fmt, count in sorted(store["by_format"].items()):
+            metric("observatory_store_segment_files", count,
+                   "Segment files in the event store by on-disk format.",
+                   labels=f'{{format="{fmt}"}}')
         metric("observatory_store_generation", store["generation"],
                "History rewrites (truncate/compact/repair) the store "
                "has seen.")

@@ -4,15 +4,26 @@ Layout (one directory per store)::
 
     <root>/manifest.json        atomic (write-temp + rename) manifest
     <root>/seg-00000000.jsonl   segment files, named by first seq
+    <root>/seg-00000000.colseg  sealed binary columnar segments
 
 Events are JSON lines with a monotonically increasing ``seq``; each
 append is flushed so a crash loses at most a partially written trailing
 line, which recovery (and every reader) tolerates by ignoring it.  The
-manifest carries a per-segment index — time range, event kinds, and
-(capped) prefix/peer sets — so queries skip whole segments without
+manifest carries a per-segment index — time range, event kinds, format,
+and (capped) prefix/peer sets — so queries skip whole segments without
 opening them.  Sealed segments are immutable; the active (last) segment
 is always re-scanned on open, which is what makes the store readable by
 a concurrent process while an ingest appends to it.
+
+Two segment formats coexist behind one manifest.  The *active* segment
+is always JSONL — a torn trailing line is the whole crash story, and
+recovery is a truncate.  ``compact(fmt="columnar")`` rewrites history
+into sealed binary columnar segments (:mod:`repro.observatory.colseg`):
+per-kind column groups read via ``mmap`` with per-column min/max, so
+scans skip whole groups and decode only the columns a query touches.
+Readers hold a small LRU of open columnar segments keyed by the
+manifest's seal hash, which makes repeated scans of sealed history
+entirely in-memory.
 
 :meth:`EventStore.truncate` drops every event with ``seq >=`` a bound —
 the recovery primitive behind the checkpointed ingest: roll the store
@@ -34,9 +45,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Optional, Sequence, Union
+
+from repro.observatory import colseg
+from repro.observatory.colseg import ColsegError, ColumnarSegment
 
 __all__ = ["EventStore", "MANIFEST_VERSION", "file_sha256"]
 
@@ -49,6 +64,11 @@ INDEX_VALUE_CAP = 64
 #: Default number of events per segment file.
 DEFAULT_SEGMENT_RECORDS = 1024
 
+#: Open columnar segments (mmap + decoded-column cache) kept per store.
+#: Sealed segments are immutable, so entries are validated against the
+#: manifest's seal hash and never go stale — the cap only bounds memory.
+DEFAULT_COLUMNAR_CACHE = 16
+
 
 @dataclass
 class _Segment:
@@ -57,6 +77,11 @@ class _Segment:
     name: str
     first_seq: int
     count: int = 0
+    #: Highest seq in the segment.  Compaction folds events *inside*
+    #: segments, so seqs are gapped and ``first_seq + count`` no longer
+    #: bounds them — every "does seq X live here" question must go
+    #: through :attr:`end_seq`.
+    last_seq: Optional[int] = None
     min_time: Optional[int] = None
     max_time: Optional[int] = None
     kinds: set[str] = field(default_factory=set)
@@ -67,10 +92,23 @@ class _Segment:
     #: active (its bytes are still growing).  ``observatory doctor``
     #: verifies it to catch bit rot in sealed segments.
     sha256: Optional[str] = None
+    #: On-disk format: ``"jsonl"`` (line-per-event, the only format the
+    #: active segment may use) or ``"columnar"`` (sealed ``.colseg``).
+    format: str = "jsonl"
+
+    @property
+    def end_seq(self) -> int:
+        """One past the highest seq in the segment."""
+        if self.last_seq is not None:
+            return self.last_seq + 1
+        return self.first_seq + self.count
 
     def note(self, event: dict[str, Any]) -> None:
         """Fold one event into the index."""
         self.count += 1
+        seq = event["seq"]
+        self.last_seq = seq if self.last_seq is None \
+            else max(self.last_seq, seq)
         time = event.get("time")
         if time is not None:
             self.min_time = time if self.min_time is None else min(self.min_time, time)
@@ -92,6 +130,7 @@ class _Segment:
             "name": self.name,
             "first_seq": self.first_seq,
             "count": self.count,
+            "last_seq": self.last_seq,
             "min_time": self.min_time,
             "max_time": self.max_time,
             "kinds": sorted(self.kinds),
@@ -99,6 +138,7 @@ class _Segment:
             "peers": sorted(self.peers) if self.peers is not None else None,
             "sealed": self.sealed,
             "sha256": self.sha256,
+            "format": self.format,
         }
 
     @classmethod
@@ -107,6 +147,7 @@ class _Segment:
             name=payload["name"],
             first_seq=payload["first_seq"],
             count=payload["count"],
+            last_seq=payload.get("last_seq"),
             min_time=payload["min_time"],
             max_time=payload["max_time"],
             kinds=set(payload["kinds"]),
@@ -115,6 +156,7 @@ class _Segment:
             peers=set(payload["peers"]) if payload["peers"] is not None else None,
             sealed=payload["sealed"],
             sha256=payload.get("sha256"),
+            format=payload.get("format", "jsonl"),
         )
 
     def may_match(self, kinds: Optional[frozenset],
@@ -137,8 +179,9 @@ class _Segment:
         return True
 
 
-def _segment_name(first_seq: int) -> str:
-    return f"seg-{first_seq:08d}.jsonl"
+def _segment_name(first_seq: int, fmt: str = "jsonl") -> str:
+    extension = "colseg" if fmt == "columnar" else "jsonl"
+    return f"seg-{first_seq:08d}.{extension}"
 
 
 def file_sha256(path: Union[str, Path]) -> str:
@@ -170,16 +213,20 @@ class EventStore:
 
     def __init__(self, root: Union[str, Path],
                  segment_max_records: int = DEFAULT_SEGMENT_RECORDS,
-                 readonly: bool = False):
+                 readonly: bool = False,
+                 columnar_cache_segments: int = DEFAULT_COLUMNAR_CACHE):
         if segment_max_records <= 0:
             raise ValueError("segment_max_records must be positive")
         self.root = Path(root)
         self.segment_max_records = segment_max_records
         self.readonly = readonly
+        self.columnar_cache_segments = max(1, columnar_cache_segments)
         self._segments: list[_Segment] = []
         self._next_seq = 0
         self._generation = 0
         self._handle = None
+        #: name -> (seal sha256, open ColumnarSegment); LRU-bounded.
+        self._columnar_cache: "OrderedDict[str, tuple[Optional[str], ColumnarSegment]]" = OrderedDict()
         if readonly:
             if not (self.root / "manifest.json").exists():
                 raise FileNotFoundError(
@@ -226,6 +273,11 @@ class EventStore:
         if not self._segments:
             return
         active = self._segments[-1]
+        if active.sealed:
+            # A fully-columnar store (every chunk sealed by compaction)
+            # has no mutable tail: the manifest is authoritative, and
+            # the next append opens a fresh JSONL segment.
+            return
         path = self.root / active.name
         data = path.read_bytes() if path.exists() else b""
         lines, complete = _complete_lines(data)
@@ -278,13 +330,36 @@ class EventStore:
     def _tail_next_seq(self) -> int:
         """``next_seq`` as visible in the active segment's file —
         possibly ahead of the manifest's value while a concurrent
-        writer is mid-segment.  Reads only the last complete line."""
+        writer is mid-segment.  Reads only the last complete event."""
         if not self._segments:
             return self._next_seq
         active = self._segments[-1]
         if active.sealed:
             return self._next_seq
-        path = self.root / active.name
+        event = self._last_event_in_segment(active)
+        if event is None:
+            return self._next_seq  # empty, torn, or garbled tail
+        seq = event.get("seq")
+        if not isinstance(seq, int):
+            return self._next_seq  # garbled tail: doctor territory
+        return max(self._next_seq, seq + 1)
+
+    def _last_event_in_segment(self, segment: _Segment
+                               ) -> Optional[dict[str, Any]]:
+        """The last *complete* event in a segment's file, or ``None``.
+
+        One probe shared by both formats: a columnar segment answers
+        from its footer-indexed last row; a JSONL segment is read
+        backwards in windows so only its tail is touched — a partially
+        written trailing line (the crash artefact) is skipped, exactly
+        as every reader skips it.
+        """
+        if segment.format == "columnar":
+            try:
+                return self._columnar(segment).last_event()
+            except (ColsegError, OSError):
+                return None
+        path = self.root / segment.name
         try:
             with open(path, "rb") as handle:
                 handle.seek(0, os.SEEK_END)
@@ -300,14 +375,14 @@ class EventStore:
                         break
                     window *= 2  # a line longer than the window
         except OSError:
-            return self._next_seq
+            return None
         if end == -1:
-            return self._next_seq  # no complete line yet
+            return None  # no complete line yet
         try:
-            last_seq = json.loads(data[prev + 1:end])["seq"]
-        except (ValueError, KeyError, TypeError):
-            return self._next_seq  # torn/garbled tail: doctor territory
-        return max(self._next_seq, last_seq + 1)
+            event = json.loads(data[prev + 1:end])
+        except ValueError:
+            return None  # torn/garbled tail
+        return event if isinstance(event, dict) else None
 
     def _open_segment(self) -> None:
         segment = _Segment(name=_segment_name(self._next_seq),
@@ -358,24 +433,89 @@ class EventStore:
             self._handle.flush()
             self._handle.close()
             self._handle = None
+        self._drop_columnar_cache()
         if not self.readonly:
             self._sync_manifest()
 
     # -- read path --------------------------------------------------------
 
-    def _read_segment(self, segment: _Segment) -> list[dict[str, Any]]:
+    def _columnar(self, segment: _Segment) -> ColumnarSegment:
+        """The (cached) open columnar reader for one sealed segment.
+
+        Entries are validated against the manifest's seal hash, so a
+        compaction that reuses a name (same first seq, new contents)
+        can never serve stale rows; eviction closes the mmap — decoded
+        rows already handed out are plain dicts and stay valid.
+        """
+        cached = self._columnar_cache.get(segment.name)
+        if cached is not None:
+            sha, reader = cached
+            if sha == segment.sha256:
+                self._columnar_cache.move_to_end(segment.name)
+                return reader
+            del self._columnar_cache[segment.name]
+            reader.close()
+        reader = ColumnarSegment(self.root / segment.name)
+        self._columnar_cache[segment.name] = (segment.sha256, reader)
+        while len(self._columnar_cache) > self.columnar_cache_segments:
+            _, (_, evicted) = self._columnar_cache.popitem(last=False)
+            evicted.close()
+        return reader
+
+    def _drop_columnar_cache(self) -> None:
+        while self._columnar_cache:
+            _, (_, reader) = self._columnar_cache.popitem()
+            reader.close()
+
+    def _iter_segment(self, segment: _Segment,
+                      kind_set: Optional[frozenset] = None,
+                      prefix: Optional[str] = None,
+                      since: Optional[int] = None,
+                      until: Optional[int] = None,
+                      min_seq: Optional[int] = None
+                      ) -> Iterator[dict[str, Any]]:
+        """Stream one segment's matching events in seq order.
+
+        JSONL segments are read line by line (never materialized whole),
+        stopping at a trailing line with no newline — the torn-write
+        artefact every reader tolerates.  Columnar segments push the
+        filters down into the column reader, which skips whole kind
+        groups and decodes only the columns the filters touch.
+        """
         path = self.root / segment.name
         if not path.exists():
-            return []
-        lines, _ = _complete_lines(path.read_bytes())
-        return [json.loads(line) for line in lines]
+            return
+        if segment.format == "columnar":
+            yield from self._columnar(segment).scan(
+                kinds=kind_set, prefix=prefix, since=since, until=until,
+                min_seq=min_seq)
+            return
+        with open(path, "rb") as handle:
+            for line in handle:
+                if not line.endswith(b"\n"):
+                    break  # partial trailing line: crash or live writer
+                event = json.loads(line)
+                if min_seq is not None and event["seq"] < min_seq:
+                    continue
+                if kind_set is not None and event["kind"] not in kind_set:
+                    continue
+                if prefix is not None and event.get("prefix") != prefix:
+                    continue
+                time = event.get("time")
+                if since is not None and (time is None or time < since):
+                    continue
+                if until is not None and (time is None or time >= until):
+                    continue
+                yield event
 
     def events(self, kinds: Optional[Sequence[str]] = None,
                prefix: Optional[str] = None,
                since: Optional[int] = None,
                until: Optional[int] = None,
                min_seq: Optional[int] = None) -> Iterator[dict[str, Any]]:
-        """Iterate matching events in seq order.
+        """Iterate matching events in seq order (a streaming generator:
+        full scans and view rebuilds hold one segment's worth of state,
+        not the whole store).
 
         ``kinds`` filters on the event kind, ``prefix`` on the exact
         prefix string, ``since``/``until`` on the half-open event time
@@ -393,24 +533,13 @@ class EventStore:
         kind_set = frozenset(kinds) if kinds is not None else None
         for segment in self._segments:
             if min_seq is not None and segment.sealed \
-                    and segment.first_seq + segment.count <= min_seq:
+                    and segment.end_seq <= min_seq:
                 continue
             if segment.sealed and not segment.may_match(
                     kind_set, prefix, since, until):
                 continue
-            for event in self._read_segment(segment):
-                if min_seq is not None and event["seq"] < min_seq:
-                    continue
-                if kind_set is not None and event["kind"] not in kind_set:
-                    continue
-                if prefix is not None and event.get("prefix") != prefix:
-                    continue
-                time = event.get("time")
-                if since is not None and (time is None or time < since):
-                    continue
-                if until is not None and (time is None or time >= until):
-                    continue
-                yield event
+            yield from self._iter_segment(segment, kind_set, prefix,
+                                          since, until, min_seq)
 
     def raw_bytes(self) -> bytes:
         """All segment bytes, concatenated in seq order (for the
@@ -444,87 +573,131 @@ class EventStore:
                 if path.exists():
                     path.unlink()
                 continue
-            if segment.first_seq + segment.count <= next_seq:
+            if segment.end_seq <= next_seq:
                 kept.append(segment)
                 continue
-            # Segment straddles the bound: rewrite its prefix.
-            events = [e for e in self._read_segment(segment)
-                      if e["seq"] < next_seq]
-            rebuilt = _Segment(name=segment.name, first_seq=segment.first_seq)
-            tmp = path.with_suffix(".tmp")
+            # Segment straddles the bound: rewrite its surviving prefix.
+            # A columnar segment is immutable, so its prefix is rewritten
+            # as JSONL (the mutable format) under the jsonl name.
+            new_name = _segment_name(segment.first_seq)
+            rebuilt = _Segment(name=new_name, first_seq=segment.first_seq)
+            tmp = self.root / (new_name + ".tmp")
             with open(tmp, "wb") as handle:
-                for event in events:
+                for event in self._iter_segment(segment):
+                    if event["seq"] >= next_seq:
+                        break
                     handle.write((json.dumps(event, sort_keys=True)
                                   + "\n").encode("utf-8"))
                     rebuilt.note(event)
-            os.replace(tmp, path)
+            if segment.name != new_name and path.exists():
+                path.unlink()
+            os.replace(tmp, self.root / new_name)
             kept.append(rebuilt)
-        if kept:
-            kept[-1].sealed = False  # tail segment takes appends again
+        # Reopen the tail for appends — unless it is columnar, which
+        # only holds JSON lines' worth of history in binary form; the
+        # next append then starts a fresh JSONL segment after it.
+        if kept and kept[-1].format == "jsonl":
+            kept[-1].sealed = False
             kept[-1].sha256 = None
         self._segments = kept
+        self._drop_columnar_cache()
         self._next_seq = next_seq
         self._generation += 1
         self._sync_manifest()
         return dropped
 
-    def compact(self) -> dict[str, int]:
+    def compact(self, fmt: str = "jsonl") -> dict[str, int]:
         """Fold superseded ``lifespan`` events.  Each lifespan event
         carries the full cumulative per-prefix summary, so intermediate
         ones add nothing — except segment-boundary markers
         (``started_segment`` / ``resurrection``), which are the §5.1
         dump-scale resurrection history and are preserved.  Every other
-        kind survives unchanged (same bytes, same seqs).  Returns
-        ``{"kept": n, "dropped": m}``."""
+        kind survives unchanged (same values, same seqs).
+
+        ``fmt`` picks the rewritten segments' on-disk format.  With
+        ``"jsonl"`` (the default) the last chunk is left unsealed so
+        appends continue into it, exactly as before.  With
+        ``"columnar"`` every chunk becomes a sealed ``.colseg`` file —
+        the binary format is immutable — and the next append opens a
+        fresh JSONL segment after the history.  Survivors are streamed
+        chunk by chunk, so compaction holds at most one segment's worth
+        of events in memory.  Returns ``{"kept": n, "dropped": m}``."""
         if self.readonly:
             raise RuntimeError("store opened readonly")
+        if fmt not in ("jsonl", "columnar"):
+            raise ValueError(f"unknown segment format: {fmt!r}")
         latest: dict[str, int] = {}
         for event in self.events(kinds=("lifespan",)):
             latest[event["prefix"]] = event["seq"]
-        survivors: list[dict[str, Any]] = []
-        dropped = 0
+        # New chunks are staged under temp names while the old files are
+        # still being streamed from, then swapped in all at once.
+        staged: list[_Segment] = []
+        chunk: list[dict[str, Any]] = []
+        kept = dropped = 0
+
+        def flush_chunk() -> None:
+            nonlocal chunk
+            if not chunk:
+                return
+            name = _segment_name(chunk[0]["seq"], fmt)
+            entry = _Segment(name=name, first_seq=chunk[0]["seq"],
+                             format=fmt)
+            tmp = self.root / (name + ".tmp")
+            if fmt == "columnar":
+                colseg.write_segment(tmp, chunk)
+            else:
+                with open(tmp, "wb") as handle:
+                    for event in chunk:
+                        handle.write((json.dumps(event, sort_keys=True)
+                                      + "\n").encode("utf-8"))
+            for event in chunk:
+                entry.note(event)
+            entry.sealed = True
+            entry.sha256 = file_sha256(tmp)
+            staged.append(entry)
+            chunk = []
+
         for segment in self._segments:
-            for event in self._read_segment(segment):
+            for event in self._iter_segment(segment):
                 if (event["kind"] == "lifespan"
                         and latest.get(event["prefix"]) != event["seq"]
                         and not event.get("started_segment")
                         and not event.get("resurrection")):
                     dropped += 1
                     continue
-                survivors.append(event)
+                kept += 1
+                chunk.append(event)
+                if len(chunk) >= self.segment_max_records:
+                    flush_chunk()
+        flush_chunk()
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+        self._drop_columnar_cache()
         for segment in self._segments:
             path = self.root / segment.name
             if path.exists():
                 path.unlink()
         self._segments = []
-        for offset in range(0, len(survivors), self.segment_max_records):
-            chunk = survivors[offset:offset + self.segment_max_records]
-            segment = _Segment(name=_segment_name(chunk[0]["seq"]),
-                               first_seq=chunk[0]["seq"])
-            with open(self.root / segment.name, "wb") as handle:
-                for event in chunk:
-                    handle.write((json.dumps(event, sort_keys=True)
-                                  + "\n").encode("utf-8"))
-                    segment.note(event)
-            segment.sealed = True
-            segment.sha256 = file_sha256(self.root / segment.name)
-            self._segments.append(segment)
-        if self._segments:
+        for entry in staged:
+            os.replace(self.root / (entry.name + ".tmp"),
+                       self.root / entry.name)
+            self._segments.append(entry)
+        if fmt == "jsonl" and self._segments:
             self._segments[-1].sealed = False
             self._segments[-1].sha256 = None
         self._generation += 1
         self._sync_manifest()
-        return {"kept": len(survivors), "dropped": dropped}
+        return {"kept": kept, "dropped": dropped}
 
     def stats(self) -> dict[str, Any]:
         """Store-level counters for ``/metrics`` and dashboards."""
         by_kind: dict[str, int] = {}
+        by_format: dict[str, int] = {}
         events = 0
         for segment in self._segments:
             events += segment.count
+            by_format[segment.format] = by_format.get(segment.format, 0) + 1
         for event in self.events():
             by_kind[event["kind"]] = by_kind.get(event["kind"], 0) + 1
         return {
@@ -534,4 +707,5 @@ class EventStore:
             "next_seq": self._next_seq,
             "generation": self._generation,
             "by_kind": by_kind,
+            "by_format": by_format,
         }

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import bisect
 import threading
+import time
 from typing import Any, Callable, Optional
 
 from repro.observatory.store import EventStore
@@ -115,6 +116,10 @@ class MaterializedViews:
         self.refreshes = 0
         self.rebuilds = 0
         self.events_folded = 0
+        #: Wall time of the most recent refresh that involved a full
+        #: rebuild — the store-format-sensitive number (a rebuild
+        #: replays all of history; see ``scripts/bench_query.py``).
+        self.last_rebuild_seconds: Optional[float] = None
         #: One lock for maintenance and reads: the server's handler
         #: threads refresh and query concurrently.
         self._lock = threading.RLock()
@@ -150,6 +155,8 @@ class MaterializedViews:
     def _refresh_locked(self) -> int:
         self.refreshes += 1
         folded = 0
+        started = time.perf_counter()
+        rebuilds_before = self.rebuilds
         for _ in range(self._MAX_SETTLE):
             generation, next_seq = self.store.position()
             if generation != self._generation \
@@ -176,6 +183,8 @@ class MaterializedViews:
             # generation change and rebuilds.
             if self.store.generation == self._generation:
                 break
+        if self.rebuilds > rebuilds_before:
+            self.last_rebuild_seconds = time.perf_counter() - started
         self.events_folded += folded
         return folded
 
@@ -251,4 +260,5 @@ class MaterializedViews:
                 "refreshes": self.refreshes,
                 "rebuilds": self.rebuilds,
                 "events_folded": self.events_folded,
+                "last_rebuild_seconds": self.last_rebuild_seconds,
             }
