@@ -1,0 +1,292 @@
+#!/usr/bin/env python
+"""Measure the streaming subsystem and emit ``BENCH_stream.json``.
+
+Three legs:
+
+* ``plain_query``      — the BENCH_query view workload (``GET
+  /zombies`` over a lifespan-study store) served by the threaded
+  engine vs the asyncio engine, sequential and at 8-way concurrency.
+  The threaded server is HTTP/1.0 (a connection and a handler thread
+  per request); the async engine holds HTTP/1.1 keep-alive
+  connections, so repeat queries skip the connect + thread-spawn tax.
+  Acceptance bar: async >= 2x threaded req/s.
+* ``append_to_deliver`` — end-to-end push latency: wall time from
+  ``store.append()`` returning to a live SSE subscriber holding the
+  event's frame.  Floored by the hub's store-poll interval.
+* ``fanout``           — one live ingest, 1 / 10 / 100 SSE
+  subscribers: aggregate delivered events/second and wall time until
+  every subscriber holds every event (exactly-once is asserted, not
+  assumed).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_stream.py [--lifespans 12000]
+        [--requests 200] [--events 200] [--quick]
+        [--out BENCH_stream.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import selectors
+import socket
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_query import build_store, percentile  # noqa: E402
+
+from repro.observatory import (  # noqa: E402
+    AsyncObservatoryServer,
+    EventStore,
+    ObservatoryServer,
+)
+
+POLL_INTERVAL = 0.02  # hub store-poll cadence used by every stream leg
+
+
+# -- plain-query legs -----------------------------------------------------
+
+def query_worker(server, requests: int, keep_alive: bool,
+                 latencies: list) -> None:
+    """One client: ``requests`` round-trips of ``GET /zombies``.
+
+    ``keep_alive=True`` holds a single persistent connection (what the
+    async engine enables); ``keep_alive=False`` reconnects per request
+    (all the HTTP/1.0 threaded engine supports)."""
+    conn = None
+    for _ in range(requests):
+        t0 = time.perf_counter()
+        if conn is None:
+            conn = http.client.HTTPConnection(server.host, server.port,
+                                              timeout=30)
+        conn.request("GET", "/zombies")
+        response = conn.getresponse()
+        response.read()
+        assert response.status == 200
+        if not keep_alive:
+            conn.close()
+            conn = None
+        latencies.append(time.perf_counter() - t0)
+    if conn is not None:
+        conn.close()
+
+
+def query_leg(server, requests: int, concurrency: int,
+              keep_alive: bool) -> dict:
+    query_worker(server, 5, keep_alive, [])  # warm the view + caches
+    latencies: list = []
+    threads = [threading.Thread(target=query_worker,
+                                args=(server, requests, keep_alive,
+                                      latencies))
+               for _ in range(concurrency)]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - t0
+    return {
+        "requests": requests * concurrency,
+        "concurrency": concurrency,
+        "keep_alive": keep_alive,
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        "requests_per_second": round(requests * concurrency / elapsed, 1),
+    }
+
+
+# -- stream legs ----------------------------------------------------------
+
+def sse_socket(server, path: str) -> socket.socket:
+    """A raw subscribed SSE socket, headers consumed."""
+    sock = socket.create_connection((server.host, server.port), timeout=30)
+    sock.sendall(f"GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n"
+                 .encode("ascii"))
+    head = b""
+    while b"\r\n\r\n" not in head:
+        head += sock.recv(4096)
+    status = head.split(b"\r\n", 1)[0]
+    assert b"200" in status, status
+    return sock
+
+
+def latency_leg(store, server, events: int) -> dict:
+    """Append one event at a time; clock until the frame arrives."""
+    sock = sse_socket(server, "/stream/events")
+    sock.settimeout(30)
+    base = store.position()[1]
+    latencies = []
+    buf = b""
+    for n in range(events):
+        t0 = time.perf_counter()
+        store.append("outbreak", 1_800_000_000 + n,
+                     {"n": base + n, "bench": "latency"})
+        while buf.count(b"data: ") < n + 1:
+            buf += sock.recv(65536)
+        latencies.append(time.perf_counter() - t0)
+    sock.close()
+    return {
+        "events": events,
+        "poll_interval_ms": POLL_INTERVAL * 1e3,
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+    }
+
+
+def fanout_leg(store, server, subscribers: int, events: int) -> dict:
+    """``subscribers`` live tails, one burst of ``events`` appends:
+    wall time until everyone holds everything, exactly once."""
+    selector = selectors.DefaultSelector()
+    sockets = []
+    for _ in range(subscribers):
+        sock = sse_socket(server, "/stream/events")
+        sock.setblocking(False)
+        sockets.append(sock)
+        selector.register(sock, selectors.EVENT_READ,
+                          {"buffer": b"", "frames": 0})
+    base = store.position()[1]
+    t0 = time.perf_counter()
+    for n in range(events):
+        store.append("outbreak", 1_810_000_000 + n,
+                     {"n": base + n, "bench": "fanout"})
+    pending = set(sockets)
+    deadline = time.monotonic() + 120
+    while pending:
+        assert time.monotonic() < deadline, \
+            f"fan-out stalled with {len(pending)} subscriber(s) behind"
+        for key, _ in selector.select(timeout=1.0):
+            state = key.data
+            try:
+                chunk = key.fileobj.recv(262144)
+            except BlockingIOError:
+                continue
+            state["buffer"] += chunk
+            state["frames"] = state["buffer"].count(b"data: ")
+            if state["frames"] >= events and key.fileobj in pending:
+                pending.discard(key.fileobj)
+    elapsed = time.perf_counter() - t0
+    delivered = 0
+    for sock in sockets:
+        state = selector.get_key(sock).data
+        seqs = [json.loads(line[len(b"data: "):])["seq"]
+                for line in state["buffer"].split(b"\n")
+                if line.startswith(b"data: ")]
+        assert seqs == sorted(set(seqs)), "duplicate or out-of-order frames"
+        delivered += len([s for s in seqs if s >= base])
+        selector.unregister(sock)
+        sock.close()
+    selector.close()
+    assert delivered == subscribers * events, \
+        f"delivered {delivered}, expected {subscribers * events}"
+    return {
+        "subscribers": subscribers,
+        "events": events,
+        "wall_seconds": round(elapsed, 3),
+        "delivered_events_per_second": round(delivered / elapsed, 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--lifespans", type=int, default=12000,
+                        help="lifespan events in the query-leg store "
+                             "(matches BENCH_query)")
+    parser.add_argument("--requests", type=int, default=200,
+                        help="round-trips per query-leg client")
+    parser.add_argument("--events", type=int, default=200,
+                        help="events per stream leg")
+    parser.add_argument("--quick", action="store_true",
+                        help="small store and few requests (CI smoke)")
+    parser.add_argument("--out", default="BENCH_stream.json")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.lifespans = min(args.lifespans, 1500)
+        args.requests = min(args.requests, 40)
+        args.events = min(args.events, 40)
+
+    results: dict = {"host": {"cpu_count": os.cpu_count()},
+                     "quick": args.quick, "legs": {}}
+    with tempfile.TemporaryDirectory(prefix="bench_stream_") as tmp:
+        store = build_store(Path(tmp) / "store", args.lifespans)
+        stats = store.stats()
+        results["workload"] = {
+            "lifespan_events": stats["by_kind"]["lifespan"],
+            "events_total": stats["next_seq"],
+            "segments": stats["segments"],
+            "poll_interval_ms": POLL_INTERVAL * 1e3,
+        }
+        print(f"store: {stats['next_seq']} events, "
+              f"{stats['segments']} segments")
+
+        plain: dict = {}
+        threaded = ObservatoryServer(store, use_view=True).start()
+        try:
+            plain["threaded"] = query_leg(threaded, args.requests, 1,
+                                          keep_alive=False)
+            plain["threaded_c8"] = query_leg(threaded, args.requests, 8,
+                                             keep_alive=False)
+        finally:
+            threaded.stop()
+        asynced = AsyncObservatoryServer(store, use_view=True,
+                                         poll_interval=POLL_INTERVAL).start()
+        try:
+            plain["async"] = query_leg(asynced, args.requests, 1,
+                                       keep_alive=True)
+            plain["async_c8"] = query_leg(asynced, args.requests, 8,
+                                          keep_alive=True)
+        finally:
+            asynced.stop()
+        for name in ("threaded", "async", "threaded_c8", "async_c8"):
+            leg = plain[name]
+            print(f"{name:>12}: p50 {leg['p50_ms']:7.3f} ms  "
+                  f"{leg['requests_per_second']:8.1f} req/s")
+        plain["speedup_sequential"] = round(
+            plain["async"]["requests_per_second"]
+            / plain["threaded"]["requests_per_second"], 2)
+        plain["speedup_c8"] = round(
+            plain["async_c8"]["requests_per_second"]
+            / plain["threaded_c8"]["requests_per_second"], 2)
+        results["legs"]["plain_query"] = plain
+        print(f"async-vs-threaded: {plain['speedup_sequential']}x "
+              f"sequential, {plain['speedup_c8']}x at c=8")
+        if not args.quick:
+            assert plain["speedup_c8"] >= 2.0, \
+                "acceptance bar: async >= 2x threaded view-path req/s"
+
+        server = AsyncObservatoryServer(store,
+                                        poll_interval=POLL_INTERVAL).start()
+        try:
+            latency = latency_leg(store, server, args.events)
+            results["legs"]["append_to_deliver"] = latency
+            print(f"append->deliver: p50 {latency['p50_ms']:.1f} ms  "
+                  f"p99 {latency['p99_ms']:.1f} ms "
+                  f"(poll {latency['poll_interval_ms']:.0f} ms)")
+            fanout = []
+            for subscribers in (1, 10, 100):
+                leg = fanout_leg(store, server, subscribers, args.events)
+                fanout.append(leg)
+                print(f"fan-out x{subscribers:<3}: "
+                      f"{leg['delivered_events_per_second']:9.1f} "
+                      f"delivered events/s over {leg['wall_seconds']}s")
+            results["legs"]["fanout"] = fanout
+        finally:
+            server.stop()
+        store.close()
+
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2, sort_keys=False) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

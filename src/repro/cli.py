@@ -9,8 +9,8 @@ Commands
 ``detect``       run the revised detector over an on-disk RIS archive
 ``index``        write sidecar file indexes for an existing archive
 ``observatory``  the long-running detection service (§6):
-                 ``synth`` / ``ingest`` / ``serve`` / ``query`` /
-                 ``compact`` / ``doctor``
+                 ``synth`` / ``ingest`` / ``serve`` / ``tail`` /
+                 ``query`` / ``compact`` / ``doctor``
 ``mirror``       the archive transport layer:
                  ``serve`` / ``sync`` / ``watch`` / ``verify`` / ``proxy``
 
@@ -144,6 +144,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve queries from incrementally maintained "
                             "materialized views (--no-view: full store "
                             "scan per request)")
+    serve.add_argument("--engine", choices=["async", "threaded"],
+                       default="async",
+                       help="HTTP engine: the asyncio selector-loop "
+                            "server with /stream/* SSE endpoints "
+                            "(default), or the legacy thread-per-"
+                            "connection server")
+
+    tail = obs.add_parser(
+        "tail", help="follow a served observatory's live event stream")
+    tail.add_argument("url", help="observatory base URL (async engine)")
+    tail.add_argument("--what", choices=["events", "outbreaks",
+                                         "resurrections"],
+                      default="events",
+                      help="which stream to follow (default events)")
+    tail.add_argument("--cursor", default=None,
+                      help="resume token '<generation>:<next_seq>' from "
+                           "a previous run")
+    tail.add_argument("--from-seq", type=int, default=None,
+                      help="replay history from this seq before going "
+                           "live (default: live tail only)")
+    tail.add_argument("--max-events", type=int, default=None,
+                      help="exit after printing N events")
+    tail.add_argument("--state", default=None,
+                      help="persist the resume token to this file after "
+                           "every event; an existing file resumes the "
+                           "stream exactly where the last run stopped")
+    tail.add_argument("--no-reconnect", action="store_true",
+                      help="exit at the first disconnect instead of "
+                           "resuming with the last token")
+    tail.add_argument("--idle-timeout", type=float, default=60.0,
+                      help="declare the server dead after this many "
+                           "seconds without frames (heartbeats count)")
 
     query = obs.add_parser("query", help="query an event store directly")
     query.add_argument("store", help="event store directory")
@@ -356,6 +388,7 @@ def _cmd_observatory(args) -> int:
         "synth": _cmd_observatory_synth,
         "ingest": _cmd_observatory_ingest,
         "serve": _cmd_observatory_serve,
+        "tail": _cmd_observatory_tail,
         "query": _cmd_observatory_query,
         "compact": _cmd_observatory_compact,
         "doctor": _cmd_observatory_doctor,
@@ -440,15 +473,18 @@ def _print_decode_stats(archive) -> None:
 
 
 def _run_supervised(args, store, make_ingest) -> int:
-    from repro.observatory import ObservatoryServer, ObservatorySupervisor
+    from repro.observatory import ObservatorySupervisor
+    from repro.observatory.asyncserver import AsyncObservatoryServer
 
     supervisor = ObservatorySupervisor(
         make_ingest, batch_records=args.batch_records,
         max_restarts=args.max_restarts)
     server = None
     if args.serve_port is not None:
-        server = ObservatoryServer(store, port=args.serve_port,
-                                   supervisor=supervisor).start()
+        # The async engine: /healthz + /metrics as before, plus live
+        # /stream/* of exactly what this supervised ingest appends.
+        server = AsyncObservatoryServer(store, port=args.serve_port,
+                                        supervisor=supervisor).start()
         print(f"observatory daemon serving on {server.url}")
     try:
         ok = supervisor.run()
@@ -494,17 +530,72 @@ def _cmd_observatory_doctor(args) -> int:
 
 def _cmd_observatory_serve(args) -> int:
     from repro.observatory import EventStore, ObservatoryServer
+    from repro.observatory.asyncserver import AsyncObservatoryServer
     from repro.ris import Archive
 
     store = EventStore(args.store, readonly=True)
     archive = Archive(args.archive) if args.archive else None
-    server = ObservatoryServer(store, host=args.host, port=args.port,
-                               archive=archive, use_view=args.view)
-    print(f"observatory listening on {server.url}")
+    if args.engine == "threaded":
+        server = ObservatoryServer(store, host=args.host, port=args.port,
+                                   archive=archive, use_view=args.view)
+        print(f"observatory listening on {server.url} (threaded)")
+    else:
+        server = AsyncObservatoryServer(store, host=args.host,
+                                        port=args.port, archive=archive,
+                                        use_view=args.view)
+        print(f"observatory listening on http://{args.host}:{args.port} "
+              f"(async, streaming on /stream/*)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _cmd_observatory_tail(args) -> int:
+    import json
+
+    from repro.observatory import (ObservatoryClient, ObservatoryError,
+                                   ObservatoryUnreachable)
+
+    cursor = args.cursor
+    state_path = None
+    if args.state is not None:
+        from pathlib import Path
+
+        state_path = Path(args.state)
+        if cursor is None and state_path.exists():
+            cursor = state_path.read_text().strip() or None
+    client = ObservatoryClient(args.url)
+    if args.max_events is not None and args.max_events <= 0:
+        return 0  # nothing to wait for
+    printed = 0
+    try:
+        for event in client.stream(args.what, cursor=cursor,
+                                   from_seq=args.from_seq,
+                                   reconnect=not args.no_reconnect,
+                                   idle_timeout=args.idle_timeout):
+            if event.get("kind") == "reset":
+                # History behind us was rewritten (truncate/compact):
+                # flag it out-of-band so stdout stays a pure event feed.
+                print(f"reset: generation={event['generation']} "
+                      f"next_seq={event['next_seq']}", file=sys.stderr)
+            else:
+                print(json.dumps(event, sort_keys=True), flush=True)
+                printed += 1
+            if state_path is not None and client.stream_token is not None:
+                tmp = state_path.with_suffix(state_path.suffix + ".tmp")
+                tmp.write_text(client.stream_token)
+                tmp.replace(state_path)
+            if args.max_events is not None and printed >= args.max_events:
+                break
+    except KeyboardInterrupt:
+        pass
+    except (ObservatoryError, ObservatoryUnreachable) as exc:
+        print(f"tail: {exc}", file=sys.stderr)
+        return 2
+    if client.stream_token is not None:
+        print(f"resume token: {client.stream_token}", file=sys.stderr)
     return 0
 
 

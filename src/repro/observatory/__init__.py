@@ -17,6 +17,12 @@ miniature:
 * :mod:`repro.observatory.server` / :mod:`repro.observatory.client`
   expose the store over a JSON HTTP API with Prometheus-style metrics,
   ETag/304 revalidation, and cursor pagination;
+* :mod:`repro.observatory.stream` /
+  :mod:`repro.observatory.asyncserver` are the push side: an asyncio
+  HTTP server (the default ``observatory serve`` engine) whose
+  ``/stream/*`` SSE endpoints tail the store live, with resume tokens,
+  a shared fan-out hub, and drop-to-cursor backpressure (DESIGN.md
+  §14);
 * :mod:`repro.observatory.views` keeps the query-side materialized
   views (latest lifespan per prefix, per-prefix event counts, merged
   resurrection timeline) fresh incrementally off the store's
@@ -42,10 +48,11 @@ from repro.observatory.client import (
     ObservatoryProtocolError,
     ObservatoryUnreachable,
 )
+from repro.observatory.asyncserver import AsyncObservatoryServer
 from repro.observatory.colseg import ColsegError, ColumnarSegment
 from repro.observatory.doctor import FsckReport, fsck
 from repro.observatory.ingest import ObservatoryIngest
-from repro.observatory.server import ObservatoryServer
+from repro.observatory.server import ObservatoryApp, ObservatoryServer
 from repro.observatory.store import EventStore, file_sha256
 from repro.observatory.supervisor import ObservatorySupervisor
 from repro.observatory.synthetic import (
@@ -53,15 +60,18 @@ from repro.observatory.synthetic import (
     build_synthetic_archive,
     load_scenario,
 )
+from repro.observatory.stream import StreamHub, StreamStats
 from repro.observatory.views import MaterializedViews
 
 __all__ = [
+    "AsyncObservatoryServer",
     "CHECKPOINT_VERSION",
     "ColsegError",
     "ColumnarSegment",
     "EventStore",
     "FsckReport",
     "MaterializedViews",
+    "ObservatoryApp",
     "ObservatoryClient",
     "ObservatoryError",
     "ObservatoryIngest",
@@ -69,6 +79,8 @@ __all__ = [
     "ObservatorySupervisor",
     "ObservatoryUnreachable",
     "ObservatoryServer",
+    "StreamHub",
+    "StreamStats",
     "SyntheticScenario",
     "build_synthetic_archive",
     "file_sha256",

@@ -1,0 +1,446 @@
+"""The asyncio observatory server: one selector loop, many streams.
+
+This is the default serve path (``observatory serve``); the threaded
+server (:class:`repro.observatory.server.ObservatoryServer`) remains as
+``--engine threaded``.  Both are thin transports over the same
+:class:`repro.observatory.server.ObservatoryApp`, so every data
+endpoint — bodies, ETags, 304s, pagination, ``/metrics`` — is identical
+by construction; the parity tests assert it anyway.
+
+Why asyncio: the threaded server pays a thread per connection, which
+caps plain-query concurrency around the ~294 req/s ceiling recorded in
+``BENCH_query.json`` and makes ten thousand idle SSE subscribers ten
+thousand idle threads.  Here a connection is a coroutine: data requests
+are parsed on the loop, answered through ``ObservatoryApp.respond`` on
+a small executor-thread pool (store reads are blocking file I/O), and
+written back with HTTP/1.1 keep-alive — repeat queries skip the
+connect + thread-spawn tax entirely.  Streams never touch the executor
+pool after catch-up: they wait on their hub queue.
+
+``/stream/outbreaks``, ``/stream/resurrections`` and ``/stream/events``
+serve Server-Sent Events that tail the event store by ``seq``:
+
+* a single :class:`repro.observatory.stream.StreamHub` task polls the
+  store once per interval and fans new events into every subscriber's
+  bounded queue (one store reader for N subscribers);
+* each subscriber holds a cursor — the next seq it owes its client —
+  and replays ``[cursor, tail)`` straight from the store before joining
+  the live feed, so ``?from_seq=0`` streams the entire history and then
+  keeps going;
+* ``Last-Event-ID`` (or ``?cursor=``) carries the
+  ``"<generation>:<next_seq>"`` resume token from
+  :mod:`repro.observatory.stream`, so a reconnecting subscriber resumes
+  exactly where it stopped, across server restarts; a token from
+  another generation gets an ``event: reset`` frame instead of silently
+  rewritten history;
+* a slow consumer's TCP backpressure (small write buffer + ``drain()``)
+  stops its coroutine, its queue overflows, and the hub drops it *to
+  its cursor*: it re-reads the missed span from the store and rejoins —
+  lag costs a re-read, never a lost or duplicated event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import threading
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.observatory.server import ObservatoryApp, _BadRequest
+from repro.observatory.store import EventStore
+from repro.observatory.stream import (
+    RESET,
+    StreamHub,
+    StreamStats,
+    Subscription,
+    TokenError,
+    format_comment,
+    format_event,
+    format_reset,
+    parse_token,
+)
+
+__all__ = ["AsyncObservatoryServer", "STREAM_PATHS"]
+
+#: Stream endpoint -> event-kind filter (``None`` = every kind).
+STREAM_PATHS: dict[str, Optional[tuple[str, ...]]] = {
+    "/stream/events": None,
+    "/stream/outbreaks": ("outbreak",),
+    "/stream/resurrections": ("resurrection",),
+}
+
+
+def _first(params: dict, name: str) -> Optional[str]:
+    values = params.get(name)
+    return values[0] if values else None
+
+
+class AsyncObservatoryServer(ObservatoryApp):
+    """Asyncio transport over :class:`ObservatoryApp` + SSE streaming.
+
+    Mirrors the threaded server's lifecycle exactly — ``start()`` runs
+    the event loop on a daemon thread (ephemeral ``port=0`` readable
+    back after start), ``serve_forever()`` blocks in the foreground,
+    ``stop()`` is thread-safe — so the CLI, the supervisor and every
+    test can swap engines without touching anything else.
+
+    Tuning knobs (all with production-shaped defaults): ``poll_interval``
+    is the hub's store-poll cadence and therefore the floor on
+    append-to-deliver latency; ``queue_events`` bounds each subscriber's
+    live queue (overflow = drop-to-cursor); ``heartbeat`` spaces SSE
+    keepalive comments; ``write_buffer`` caps the per-connection kernel
+    send buffer so slow consumers backpressure instead of growing heap.
+    """
+
+    def __init__(self, store: EventStore, host: str = "127.0.0.1",
+                 port: int = 0, ingest=None, archive=None, supervisor=None,
+                 use_view: bool = True, poll_interval: float = 0.05,
+                 queue_events: int = 256, heartbeat: float = 15.0,
+                 write_buffer: int = 1 << 16, batch_events: int = 1024):
+        super().__init__(store, ingest=ingest, archive=archive,
+                         supervisor=supervisor, use_view=use_view)
+        self.stream_stats = StreamStats()
+        self.poll_interval = poll_interval
+        self.queue_events = queue_events
+        self.heartbeat = heartbeat
+        self.write_buffer = write_buffer
+        self.batch_events = batch_events
+        self.hub: Optional[StreamHub] = None
+        self._requested = (host, port)
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._connections: set[asyncio.Task] = set()
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        assert self._host is not None, "server not started"
+        return self._host
+
+    @property
+    def port(self) -> int:
+        assert self._port is not None, "server not started"
+        return self._port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "AsyncObservatoryServer":
+        """Run the event loop on a daemon thread; returns self."""
+        self._thread = threading.Thread(target=self._run_loop,
+                                        name="observatory-async", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("async observatory server failed to start")
+        if self._startup_error is not None:
+            raise RuntimeError("async observatory server failed to start"
+                               ) from self._startup_error
+        return self
+
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced by start()
+            self._startup_error = exc
+        finally:
+            self._started.set()
+
+    def serve_forever(self) -> None:
+        """Blocking serve (the CLI foreground mode)."""
+        asyncio.run(self._main())
+
+    def stop(self) -> None:
+        loop, shutdown = self._loop, self._shutdown
+        if loop is not None and shutdown is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(shutdown.set)
+            except RuntimeError:
+                pass  # loop shut down in the meantime
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        self.hub = StreamHub(self.store, self.stream_stats,
+                             poll_interval=self.poll_interval,
+                             batch_events=self.batch_events)
+        server = await asyncio.start_server(self._on_connection,
+                                            *self._requested)
+        watcher = asyncio.create_task(self.hub.run())
+        sockname = server.sockets[0].getsockname()
+        self._host, self._port = sockname[0], sockname[1]
+        self._started.set()
+        try:
+            await self._shutdown.wait()
+        finally:
+            watcher.cancel()
+            for task in list(self._connections):
+                task.cancel()
+            server.close()
+            await server.wait_closed()
+            await asyncio.gather(watcher, *list(self._connections),
+                                 return_exceptions=True)
+
+    # -- connection handling ----------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            writer.transport.set_write_buffer_limits(high=self.write_buffer)
+            await self._serve_connection(reader, writer)
+        except (ConnectionResetError, BrokenPipeError, TimeoutError):
+            self.count_dropped_response()
+        except asyncio.CancelledError:
+            # Shutdown is the only canceller; ending cleanly here keeps
+            # the StreamReaderProtocol done-callback from re-raising.
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            try:
+                head = await reader.readuntil(b"\r\n\r\n")
+            except asyncio.IncompleteReadError:
+                return  # client closed (or sent nothing) between requests
+            except asyncio.LimitOverrunError:
+                await self._send_error(writer, 431,
+                                       "request header section too large")
+                return
+            try:
+                method, target, version, headers = self._parse_head(head)
+            except ValueError as exc:
+                await self._send_error(writer, 400, f"malformed request: "
+                                                    f"{exc}")
+                return
+            if method != "GET":
+                await self._send_error(writer, 405,
+                                       f"method not allowed: {method}")
+                return
+            url = urlsplit(target)
+            params = parse_qs(url.query)
+            if url.path in STREAM_PATHS:
+                self.count_request()
+                await self._serve_stream(writer, url.path, params, headers)
+                return  # streams end with the connection
+            status, response_headers, payload = await loop.run_in_executor(
+                None, self.respond, url.path, params,
+                headers.get("if-none-match"))
+            keep_alive = (version == "HTTP/1.1"
+                          and headers.get("connection", "").lower() != "close")
+            self._write_head(writer, status, response_headers, keep_alive)
+            writer.write(payload)
+            await writer.drain()
+            if not keep_alive:
+                return
+
+    @staticmethod
+    def _parse_head(head: bytes) -> tuple[str, str, str, dict[str, str]]:
+        """Parse one request head into (method, target, version, headers);
+        header names are lower-cased, later duplicates win (none of the
+        headers this server reads are list-valued in practice)."""
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3:
+            raise ValueError(f"bad request line: {lines[0]!r}")
+        method, target, version = parts
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise ValueError(f"bad header line: {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        return method, target, version, headers
+
+    @staticmethod
+    def _write_head(writer: asyncio.StreamWriter, status: int,
+                    headers: list[tuple[str, str]], keep_alive: bool) -> None:
+        reason = http.client.responses.get(status, "Unknown")
+        lines = [f"HTTP/1.1 {status} {reason}"]
+        lines += [f"{name}: {value}" for name, value in headers]
+        lines.append("Connection: " + ("keep-alive" if keep_alive
+                                       else "close"))
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+
+    async def _send_error(self, writer: asyncio.StreamWriter, status: int,
+                          message: str) -> None:
+        status, headers, payload = self._json_response(status,
+                                                       {"error": message})
+        self._write_head(writer, status, headers, keep_alive=False)
+        writer.write(payload)
+        await writer.drain()
+
+    # -- SSE streaming ----------------------------------------------------
+
+    async def _serve_stream(self, writer: asyncio.StreamWriter, path: str,
+                            params: dict, headers: dict[str, str]) -> None:
+        """One subscriber: validate, replay, then tail the hub.
+
+        The subscriber's cursor is the single source of exactly-once
+        delivery: catch-up replays ``[cursor, position)`` from the
+        store, the live phase skips queue entries below the cursor
+        (overlap from the attach race) and advances it past everything
+        it considers — so a lag drop, which discards the queue and
+        re-enters catch-up at the cursor, can neither lose nor repeat
+        an event.
+        """
+        kinds = STREAM_PATHS[path]
+        loop = asyncio.get_running_loop()
+        raw_token = headers.get("last-event-id") or _first(params, "cursor")
+        try:
+            from_seq = self._from_seq(params)
+            token = parse_token(raw_token) if raw_token is not None else None
+        except (TokenError, _BadRequest) as exc:
+            await self._send_error(writer, 400, str(exc))
+            return
+        generation, next_seq = await loop.run_in_executor(
+            None, self.store.position)
+        reset_first = False
+        if token is not None:
+            if token[0] == generation and token[1] <= next_seq:
+                cursor = token[1]
+            else:
+                # Another generation (history rewritten while the
+                # subscriber was away) or a position the store never
+                # reached: re-sync rather than guess.
+                reset_first = True
+                cursor = next_seq
+        elif from_seq is not None:
+            cursor = min(from_seq, next_seq)
+        else:
+            cursor = next_seq  # no token: live tail only
+        self._write_head(writer, 200, [
+            ("Content-Type", "text/event-stream"),
+            ("Cache-Control", "no-cache")], keep_alive=False)
+        if reset_first:
+            writer.write(format_reset(generation, next_seq))
+            self.stream_stats.resets += 1
+        await writer.drain()
+        assert self.hub is not None
+        self.stream_stats.subscribers += 1
+        try:
+            while True:
+                subscription = Subscription(self.queue_events)
+                self.hub.attach(subscription)
+                try:
+                    generation, cursor = await self._catch_up(
+                        writer, kinds, generation, cursor)
+                    generation, cursor = await self._tail_live(
+                        writer, subscription, kinds, generation, cursor)
+                finally:
+                    self.hub.detach(subscription)
+                # Lagged: the queue overflowed while this consumer was
+                # slow.  Its cursor still names the next event it owes,
+                # so loop back into catch-up — drop-to-cursor.
+        finally:
+            self.stream_stats.subscribers -= 1
+
+    @staticmethod
+    def _from_seq(params: dict) -> Optional[int]:
+        raw = _first(params, "from_seq")
+        if raw is None:
+            return None
+        try:
+            value = int(raw)
+        except ValueError:
+            raise _BadRequest("parameter 'from_seq' must be an integer")
+        if value < 0:
+            raise _BadRequest("parameter 'from_seq' must be >= 0")
+        return value
+
+    def _read_stream_batch(self, min_seq: int, stop_seq: int,
+                           kinds: Optional[tuple[str, ...]]
+                           ) -> tuple[list[dict[str, Any]], int]:
+        """Executor helper: up to ``batch_events`` matching events in
+        ``[min_seq, stop_seq)`` plus the cursor after them.  The cursor
+        jumps to ``stop_seq`` when the span is exhausted even if no
+        event matched the kind filter — filtered-out events are
+        *considered*, not owed."""
+        batch: list[dict[str, Any]] = []
+        cursor = stop_seq
+        for event in self.store.events(kinds=kinds, min_seq=min_seq):
+            if event["seq"] >= stop_seq:
+                break
+            batch.append(event)
+            if len(batch) >= self.batch_events:
+                cursor = event["seq"] + 1
+                break
+        return batch, cursor
+
+    async def _catch_up(self, writer: asyncio.StreamWriter,
+                        kinds: Optional[tuple[str, ...]],
+                        generation: int, cursor: int) -> tuple[int, int]:
+        """Replay ``[cursor, position)`` from the store, in batches."""
+        loop = asyncio.get_running_loop()
+        while True:
+            current, stop = await loop.run_in_executor(
+                None, self.store.position)
+            if current != generation:
+                writer.write(format_reset(current, stop))
+                self.stream_stats.resets += 1
+                await writer.drain()
+                return current, stop
+            if cursor >= stop:
+                return generation, cursor
+            batch, cursor = await loop.run_in_executor(
+                None, self._read_stream_batch, cursor, stop, kinds)
+            for event in batch:
+                writer.write(format_event(event, generation))
+                self.stream_stats.events_sent += 1
+            await writer.drain()
+
+    async def _tail_live(self, writer: asyncio.StreamWriter,
+                         subscription: Subscription,
+                         kinds: Optional[tuple[str, ...]],
+                         generation: int, cursor: int) -> tuple[int, int]:
+        """Consume the hub queue until this subscriber lags."""
+        while not subscription.lagged:
+            try:
+                entry = await asyncio.wait_for(subscription.queue.get(),
+                                               timeout=self.heartbeat)
+            except TimeoutError:
+                writer.write(format_comment("keepalive"))
+                await writer.drain()
+                continue
+            if isinstance(entry, tuple) and entry[0] == RESET:
+                _, entry_generation, entry_next = entry
+                if entry_generation == generation and entry_next <= cursor:
+                    continue  # already announced during catch-up
+                generation, cursor = entry_generation, entry_next
+                writer.write(format_reset(generation, cursor))
+                self.stream_stats.resets += 1
+                await writer.drain()
+                continue
+            seq = entry["seq"]
+            if seq < cursor:
+                continue  # already replayed from the store
+            cursor = seq + 1
+            if kinds is not None and entry["kind"] not in kinds:
+                continue
+            writer.write(format_event(entry, generation))
+            self.stream_stats.events_sent += 1
+            await writer.drain()
+        return generation, cursor

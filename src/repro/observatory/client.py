@@ -1,14 +1,22 @@
-"""Programmatic client for the observatory HTTP API (stdlib urllib).
+"""Programmatic client for the observatory HTTP API (stdlib only).
 
-Requests carry a connect/read timeout and a small bounded retry with
-exponential backoff: transient transport failures (connection refused,
-resets, timeouts, 5xx) are retried, API-level errors (4xx with a JSON
-body) raise :class:`ObservatoryError` immediately, and a server that
-stays unreachable after the retry budget raises
-:class:`ObservatoryUnreachable` with the attempt count and last cause.
-A 200 response whose body is not valid JSON (a misconfigured proxy, a
-half-written error page) raises :class:`ObservatoryProtocolError` —
-callers never see a bare ``json.JSONDecodeError``.
+Transport is ``http.client`` so the two phases of a request get their
+own clocks: ``connect_timeout`` bounds the TCP connect and
+``read_timeout`` bounds each subsequent socket read.  The split is what
+makes long-lived streaming subscriptions possible — a stream sits idle
+between events far longer than any sane *connect* deadline, and before
+the split the single shared timeout had to be short enough to fail fast
+on a dead server yet long enough to sit through a quiet stream.  It
+also sharpens retry semantics: the bounded exponential-backoff retry
+covers the *connect* phase (connection refused, DNS, unreachable) and
+5xx responses, where retrying is safe and cheap; a connection that dies
+*mid-read* raises :class:`ObservatoryUnreachable` immediately, because
+blindly re-reading hides half-delivered responses and double-charges
+slow servers.  API-level errors (4xx with a JSON body) raise
+:class:`ObservatoryError` without any retry, and a 200 whose body is
+not valid JSON (a misconfigured proxy, a half-written error page)
+raises :class:`ObservatoryProtocolError` — callers never see a bare
+``json.JSONDecodeError``.
 
 The client revalidates transparently: every 200 with an ``ETag`` is
 remembered per URL, repeat requests carry ``If-None-Match``, and a
@@ -17,18 +25,27 @@ the server re-rendering (or re-sending) anything.  Callers just see
 the JSON; :attr:`ObservatoryClient.revalidations` counts the 304s.
 :meth:`ObservatoryClient.paginate` walks a paginated listing page by
 page, following ``next_cursor`` until the listing is exhausted.
+
+:meth:`ObservatoryClient.stream` tails the ``/stream/*`` SSE endpoints:
+it yields event dicts as the server publishes them, heartbeat-checks
+the connection with ``idle_timeout``, and on any transport failure
+reconnects with the ``Last-Event-ID`` resume token of the last frame it
+delivered — so a consumer sees every event exactly once, in seq order,
+across server restarts.  A stream ``reset`` frame (store generation
+bump: truncate/compact rewrote history) is surfaced as a
+``{"kind": "reset", ...}`` dict so consumers know to re-sync their
+derived state via the query endpoints.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
-import socket
 import time
 from typing import Any, Callable, Iterator, Optional
-from urllib.error import HTTPError, URLError
-from urllib.parse import quote, urlencode
-from urllib.request import Request, urlopen
+from urllib.parse import quote, urlencode, urlsplit
+
+from repro.observatory.stream import encode_token
 
 __all__ = ["ObservatoryClient", "ObservatoryError",
            "ObservatoryProtocolError", "ObservatoryUnreachable"]
@@ -68,29 +85,47 @@ class ObservatoryUnreachable(Exception):
         self.cause = cause
 
 
+#: Stream names accepted by :meth:`ObservatoryClient.stream`.
+STREAMS = ("events", "outbreaks", "resurrections")
+
+
 class ObservatoryClient:
     """Thin JSON client: one method per endpoint.
 
-    ``timeout`` applies per request (connect + read); ``retries`` extra
-    attempts are made on transport failures and 5xx responses, sleeping
-    ``backoff * 2**attempt`` between them (``sleep`` is injectable for
-    tests).
+    ``connect_timeout`` bounds TCP connection establishment,
+    ``read_timeout`` bounds each socket read of a response; the legacy
+    ``timeout`` argument sets whichever of the two was not given
+    explicitly.  ``retries`` extra attempts are made on connect
+    failures and 5xx responses, sleeping ``backoff * 2**attempt``
+    between them (``sleep`` is injectable for tests).
     """
 
     #: Most-recently validated (etag, body) pairs kept per URL.
     CACHE_ENTRIES = 256
 
-    def __init__(self, base_url: str, timeout: float = 10.0,
+    def __init__(self, base_url: str, timeout: Optional[float] = None,
                  retries: int = 2, backoff: float = 0.2,
-                 sleep: Callable[[float], None] = time.sleep):
+                 sleep: Callable[[float], None] = time.sleep,
+                 connect_timeout: Optional[float] = None,
+                 read_timeout: Optional[float] = None):
         self.base_url = base_url.rstrip("/")
-        self.timeout = timeout
+        split = urlsplit(self.base_url)
+        if split.scheme not in ("http", "https") or not split.netloc:
+            raise ValueError(f"not an observatory URL: {base_url!r}")
+        self._scheme = split.scheme
+        self._netloc = split.netloc
+        self.connect_timeout = (connect_timeout if connect_timeout is not None
+                                else timeout if timeout is not None else 5.0)
+        self.read_timeout = (read_timeout if read_timeout is not None
+                             else timeout if timeout is not None else 10.0)
         self.retries = max(0, int(retries))
         self.backoff = backoff
         self._sleep = sleep
         self._etag_cache: dict[str, tuple[str, str]] = {}
         #: Requests answered 304 and served from the local cache.
         self.revalidations = 0
+        #: Resume token of the last event yielded by :meth:`stream`.
+        self.stream_token: Optional[str] = None
 
     def _remember(self, url: str, etag: str, body: str) -> None:
         self._etag_cache.pop(url, None)
@@ -98,58 +133,91 @@ class ObservatoryClient:
         while len(self._etag_cache) > self.CACHE_ENTRIES:
             self._etag_cache.pop(next(iter(self._etag_cache)))
 
+    # -- transport --------------------------------------------------------
+
+    def _connect(self, read_timeout: Optional[float]
+                 ) -> http.client.HTTPConnection:
+        """Open a connection under ``connect_timeout``, then switch the
+        socket to the read clock.  The two-clock trick: ``http.client``
+        applies its ``timeout`` at connect, and once the socket exists
+        we re-arm it for reads."""
+        conn_cls = (http.client.HTTPSConnection if self._scheme == "https"
+                    else http.client.HTTPConnection)
+        conn = conn_cls(self._netloc, timeout=self.connect_timeout)
+        conn.connect()
+        assert conn.sock is not None
+        conn.sock.settimeout(read_timeout)
+        return conn
+
     def _get(self, path: str, params: Optional[dict[str, Any]] = None,
              raw: bool = False):
         query = {k: v for k, v in (params or {}).items() if v is not None}
         url = self.base_url + path
+        target = path + ("?" + urlencode(query) if query else "")
         if query:
             url += "?" + urlencode(query)
         cached = self._etag_cache.get(url) if not raw else None
         last: Optional[Exception] = None
         for attempt in range(self.retries + 1):
             try:
-                request = Request(url)
-                if cached is not None:
-                    request.add_header("If-None-Match", cached[0])
-                with urlopen(request, timeout=self.timeout) as response:
-                    body = response.read().decode("utf-8")
-                    etag = response.headers.get("ETag")
-                if raw:
-                    return body
-                try:
-                    parsed = json.loads(body)
-                except ValueError as exc:
-                    raise ObservatoryProtocolError(url, body, exc) from exc
-                if etag:
-                    self._remember(url, etag, body)
-                return parsed
-            except HTTPError as exc:
-                if exc.code == 304:
-                    if cached is not None:
-                        # Fresh parse per call so a caller mutating the
-                        # result cannot poison the cache.
-                        self.revalidations += 1
-                        return json.loads(cached[1])
-                    raise ObservatoryProtocolError(
-                        url, "", ValueError("304 without a cached body")
-                    ) from None
-                detail = exc.read().decode("utf-8", "replace")
-                try:
-                    detail = json.loads(detail).get("error", detail)
-                except ValueError:
-                    pass
-                if exc.code < 500:
-                    raise ObservatoryError(exc.code, detail) from None
-                last = ObservatoryError(exc.code, detail)
-            except (URLError, OSError, http.client.HTTPException,
-                    socket.timeout) as exc:
+                conn = self._connect(self.read_timeout)
+            except OSError as exc:
+                # Connect failures are the retryable class: nothing was
+                # sent, so trying again cannot double-deliver anything.
                 last = exc
-            if attempt < self.retries:
-                self._sleep(self.backoff * (2 ** attempt))
+                if attempt < self.retries:
+                    self._sleep(self.backoff * (2 ** attempt))
+                continue
+            try:
+                headers = {"Connection": "close"}
+                if cached is not None:
+                    headers["If-None-Match"] = cached[0]
+                conn.request("GET", target, headers=headers)
+                response = conn.getresponse()
+                status = response.status
+                etag = response.getheader("ETag")
+                body = response.read().decode("utf-8", "replace")
+            except (OSError, http.client.HTTPException) as exc:
+                # Mid-request/mid-read death: the server may have acted
+                # on (or half-answered) the request — do not retry.
+                raise ObservatoryUnreachable(url, attempt + 1, exc) from exc
+            finally:
+                conn.close()
+            if status == 304:
+                if cached is not None:
+                    # Fresh parse per call so a caller mutating the
+                    # result cannot poison the cache.
+                    self.revalidations += 1
+                    return json.loads(cached[1])
+                raise ObservatoryProtocolError(
+                    url, "", ValueError("304 without a cached body")
+                ) from None
+            if status >= 400:
+                try:
+                    detail = json.loads(body).get("error", body)
+                except ValueError:
+                    detail = body
+                if status < 500:
+                    raise ObservatoryError(status, detail) from None
+                last = ObservatoryError(status, detail)
+                if attempt < self.retries:
+                    self._sleep(self.backoff * (2 ** attempt))
+                continue
+            if raw:
+                return body
+            try:
+                parsed = json.loads(body)
+            except ValueError as exc:
+                raise ObservatoryProtocolError(url, body, exc) from exc
+            if etag:
+                self._remember(url, etag, body)
+            return parsed
         if isinstance(last, ObservatoryError):
             raise last
         assert last is not None
         raise ObservatoryUnreachable(url, self.retries + 1, last) from None
+
+    # -- endpoints --------------------------------------------------------
 
     def healthz(self) -> dict[str, Any]:
         return self._get("/healthz")
@@ -203,3 +271,126 @@ class ObservatoryClient:
 
     def metrics(self) -> str:
         return self._get("/metrics", raw=True)
+
+    # -- streaming --------------------------------------------------------
+
+    def stream(self, what: str = "events", cursor: Optional[str] = None,
+               from_seq: Optional[int] = None, reconnect: bool = True,
+               idle_timeout: float = 60.0) -> Iterator[dict[str, Any]]:
+        """Tail a ``/stream/*`` endpoint, yielding one dict per event.
+
+        ``what`` is ``events`` / ``outbreaks`` / ``resurrections``.
+        ``cursor`` is a ``"<generation>:<next_seq>"`` resume token (from
+        a previous run's :attr:`stream_token`); ``from_seq`` asks the
+        server to replay history from that seq on the *first* connect.
+        Generation bumps surface as ``{"kind": "reset", "generation":
+        G, "next_seq": N}`` — everything derived from earlier events is
+        unverified after one.
+
+        The generator reconnects transparently: any transport failure
+        (reset, timeout past ``idle_timeout``, mid-read EOF) re-dials
+        with the ``Last-Event-ID`` of the last *yielded* frame, so no
+        event is lost or repeated across reconnects.  Consecutive
+        failed connects beyond ``retries`` raise
+        :class:`ObservatoryUnreachable`; with ``reconnect=False`` the
+        generator returns at the first disconnect instead.  The server
+        heartbeats idle streams well inside ``idle_timeout``, so a
+        tripped idle clock means a dead peer, not a quiet one.
+        """
+        if what not in STREAMS:
+            raise ValueError(f"not a stream: {what!r} (expected one of "
+                             f"{', '.join(STREAMS)})")
+        path = f"/stream/{what}"
+        url = self.base_url + path
+        token = cursor
+        first = True
+        failures = 0
+        last_error: Optional[Exception] = None
+        while True:
+            try:
+                conn = self._connect(idle_timeout)
+            except OSError as exc:
+                failures += 1
+                last_error = exc
+                if failures > self.retries:
+                    raise ObservatoryUnreachable(
+                        url, failures, exc) from exc
+                self._sleep(self.backoff * (2 ** (failures - 1)))
+                continue
+            try:
+                target = path
+                headers = {"Accept": "text/event-stream"}
+                if token is not None:
+                    headers["Last-Event-ID"] = token
+                elif first and from_seq is not None:
+                    target += "?" + urlencode({"from_seq": from_seq})
+                conn.request("GET", target, headers=headers)
+                response = conn.getresponse()
+                if response.status != 200:
+                    body = response.read().decode("utf-8", "replace")
+                    try:
+                        detail = json.loads(body).get("error", body)
+                    except ValueError:
+                        detail = body
+                    raise ObservatoryError(response.status, detail)
+                first = False
+                for frame_id, kind, data in self._read_frames(response):
+                    failures = 0  # a live connection resets the budget
+                    if frame_id is not None:
+                        token = frame_id
+                    event = json.loads(data)
+                    if kind == "reset":
+                        event = {"kind": "reset", **event}
+                    self.stream_token = token
+                    yield event
+                # Orderly EOF (server shut down): fall through to
+                # reconnect just like a failure, without burning sleep.
+                last_error = ConnectionError("stream closed by server")
+                failures += 1
+            except ObservatoryError:
+                raise
+            except (OSError, ValueError, http.client.HTTPException) as exc:
+                failures += 1
+                last_error = exc
+            finally:
+                conn.close()
+            if not reconnect:
+                return
+            if failures > self.retries:
+                assert last_error is not None
+                raise ObservatoryUnreachable(
+                    url, failures, last_error) from last_error
+            if failures:
+                self._sleep(self.backoff * (2 ** (failures - 1)))
+
+    @staticmethod
+    def _read_frames(response: http.client.HTTPResponse
+                     ) -> Iterator[tuple[Optional[str], str, str]]:
+        """Parse SSE frames off the wire: yields ``(id, event, data)``
+        per dispatched frame, skipping comments (keepalives)."""
+        frame_id: Optional[str] = None
+        kind = "message"
+        data: list[str] = []
+        for raw_line in iter(response.readline, b""):
+            line = raw_line.decode("utf-8").rstrip("\r\n")
+            if not line:
+                if data:
+                    yield frame_id, kind, "\n".join(data)
+                frame_id, kind, data = None, "message", []
+                continue
+            if line.startswith(":"):
+                continue  # comment — the heartbeat keepalive
+            name, _, value = line.partition(":")
+            value = value.removeprefix(" ")
+            if name == "id":
+                frame_id = value
+            elif name == "event":
+                kind = value
+            elif name == "data":
+                data.append(value)
+
+    @staticmethod
+    def resume_token(generation: int, next_seq: int) -> str:
+        """The token that resumes a stream at ``(generation, next_seq)``
+        — what a consumer should persist alongside processed events."""
+        return encode_token(generation, next_seq)

@@ -16,6 +16,16 @@ safe).  ``/metrics`` folds in the ingest counters and the archive
 read-path counters (decoded-file cache hits/misses/evictions, index
 skip-scan) when those objects are attached.
 
+The module is split along a transport seam: :class:`ObservatoryApp`
+holds everything HTTP-agnostic — routing, ETags, pagination, counters,
+metrics rendering — and answers one request at a time through
+:meth:`ObservatoryApp.respond`; :class:`ObservatoryServer` is the
+threaded (``ThreadingHTTPServer``) transport over it, kept as the
+escape hatch and the parity baseline.  The default serve path is the
+asyncio transport in :mod:`repro.observatory.asyncserver`, which adds
+the ``/stream/*`` SSE endpoints on the same app core — both transports
+produce byte-identical bodies because they share ``respond``.
+
 The read path is built for *repeated* queries (the §5 lifespan workload
 asked at production rate):
 
@@ -53,7 +63,7 @@ from repro.observatory.views import (
     seq_cursor,
 )
 
-__all__ = ["ObservatoryServer"]
+__all__ = ["ObservatoryApp", "ObservatoryServer"]
 
 #: Data responses may be cached but must be revalidated (the ETag makes
 #: revalidation a 304 with no body).
@@ -103,59 +113,21 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         observatory: "ObservatoryServer" = self.server.observatory  # type: ignore[attr-defined]
-        observatory.count_request()
         url = urlparse(self.path)
         params = parse_qs(url.query)
-        try:
-            if url.path == "/metrics":
-                self._send_text(200, observatory.render_metrics())
-                return
-            etag = None
-            if observatory.cacheable(url.path):
-                etag = observatory.etag_for(url.path, params)
-                if self._etag_matches(etag):
-                    observatory.count_not_modified()
-                    self._send_not_modified(etag)
-                    return
-            body = observatory.handle(url.path, params)
-            self._send_json(200, body, etag=etag)
-        except _BadRequest as exc:
-            self._send_json(400, {"error": str(exc)})
-        except CursorError as exc:
-            self._send_json(400, {"error": str(exc)})
-        except _NotFound:
-            self._send_json(404, {"error": f"no such resource: {url.path}"})
-        except Exception as exc:  # noqa: BLE001 - data bugs become 500s
-            self._send_json(500, {"error": "internal server error: "
-                                           f"{type(exc).__name__}: {exc}"})
-
-    def _etag_matches(self, etag: str) -> bool:
-        header = self.headers.get("If-None-Match")
-        if not header:
-            return False
-        # Concrete matches only: honouring ``*`` ("any current
-        # representation") would answer 304 for resources that do not
-        # exist, since the match runs before the data lookup.
-        return etag in (value.strip() for value in header.split(","))
+        status, headers, payload = observatory.respond(
+            url.path, params, self.headers.get("If-None-Match"))
+        self._transmit(status, headers, payload)
 
     def _send_json(self, status: int, body: dict[str, Any],
                    etag: Optional[str] = None) -> None:
-        payload = json.dumps(body, sort_keys=True).encode("utf-8")
-        headers = [("Content-Type", "application/json"),
-                   ("Content-Length", str(len(payload)))]
-        if etag is not None:
-            headers += [("ETag", etag), ("Cache-Control", CACHE_CONTROL)]
-        self._transmit(status, headers, payload)
-
-    def _send_text(self, status: int, text: str) -> None:
-        payload = text.encode("utf-8")
-        self._transmit(status, [
-            ("Content-Type", "text/plain; version=0.0.4; charset=utf-8"),
-            ("Content-Length", str(len(payload)))], payload)
+        self._transmit(*ObservatoryApp._json_response(status, body,
+                                                      etag=etag))
 
     def _send_not_modified(self, etag: str) -> None:
         self._transmit(304, [("ETag", etag),
-                             ("Cache-Control", CACHE_CONTROL)], b"")
+                             ("Cache-Control", CACHE_CONTROL),
+                             ("Content-Length", "0")], b"")
 
     def _transmit(self, status: int, headers: list[tuple[str, str]],
                   payload: bytes) -> None:
@@ -175,63 +147,140 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
 
 
-class ObservatoryServer:
-    """Serve one event store; optionally fold ingest/archive metrics in.
+class ObservatoryApp:
+    """Transport-neutral core of the observatory API.
 
-    ``port=0`` binds an ephemeral port (read it back from
-    :attr:`port` after construction) — the form every test uses.
+    Holds the store, the materialized views and every request counter,
+    and answers one request at a time through :meth:`respond` — pure
+    ``(path, params, If-None-Match) -> (status, headers, payload)``.
+    Both HTTP transports (:class:`ObservatoryServer`,
+    :class:`repro.observatory.asyncserver.AsyncObservatoryServer`) call
+    it from concurrent threads, so the counters stay lock-guarded here.
+
     ``use_view=False`` disables the materialized views and serves every
     query with a full store scan (the pre-view behaviour, kept for
     benchmarking and as an escape hatch).
     """
 
-    def __init__(self, store: EventStore, host: str = "127.0.0.1",
-                 port: int = 0, ingest=None, archive=None, supervisor=None,
-                 use_view: bool = True):
+    def __init__(self, store: EventStore, ingest=None, archive=None,
+                 supervisor=None, use_view: bool = True):
         self.store = store
         self.ingest = ingest
         self.archive = archive
         self.supervisor = supervisor
         self.views = MaterializedViews(store) if use_view else None
-        #: Handler threads run concurrently (ThreadingHTTPServer); all
-        #: request counters share one lock so none of them undercount.
+        #: Handler threads run concurrently; all request counters share
+        #: one lock so none of them undercount.
         self._counter_lock = threading.Lock()
         self._requests_served = 0
         self._responses_dropped = 0
         self._not_modified = 0
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
-        self._httpd.observatory = self  # type: ignore[attr-defined]
-        self._thread: Optional[threading.Thread] = None
+        #: Rendered 200s keyed by strong ETag.  The ETag names the
+        #: store position *and* the canonical query, so a hit is
+        #: byte-identical to a re-render by definition; repeat polls of
+        #: an unchanged listing skip the view lookup and the JSON dump.
+        self._response_cache: dict[
+            str, tuple[int, list[tuple[str, str]], bytes]] = {}
+        self._response_cache_hits = 0
+        #: Attached by the async transport's stream hub; when present,
+        #: ``render_metrics`` folds the ``observatory_stream_*`` series.
+        self.stream_stats = None
 
-    @property
-    def host(self) -> str:
-        return self._httpd.server_address[0]
+    # -- one-request entry point ------------------------------------------
 
-    @property
-    def port(self) -> int:
-        return self._httpd.server_address[1]
+    def respond(self, path: str, params: dict,
+                if_none_match: Optional[str] = None
+                ) -> tuple[int, list[tuple[str, str]], bytes]:
+        """Answer one GET: ``(status, headers, payload)``.
 
-    @property
-    def url(self) -> str:
-        return f"http://{self.host}:{self.port}"
+        Every behaviour the endpoints promise — ETag/304 revalidation,
+        pagination, the 400/404/500 error split — lives here, so any
+        transport that forwards requests verbatim is body-identical to
+        any other by construction.
+        """
+        self.count_request()
+        try:
+            if path == "/metrics":
+                return self._text_response(200, self.render_metrics())
+            etag = None
+            if self.cacheable(path):
+                etag = self.etag_for(path, params)
+                if self._etag_matches(etag, if_none_match):
+                    self.count_not_modified()
+                    return 304, [("ETag", etag),
+                                 ("Cache-Control", CACHE_CONTROL),
+                                 ("Content-Length", "0")], b""
+                cached = self._cached_response(etag)
+                if cached is not None:
+                    return cached
+            body = self.handle(path, params)
+        except _BadRequest as exc:
+            return self._json_response(400, {"error": str(exc)})
+        except CursorError as exc:
+            return self._json_response(400, {"error": str(exc)})
+        except _NotFound:
+            return self._json_response(
+                404, {"error": f"no such resource: {path}"})
+        except Exception as exc:  # noqa: BLE001 - data bugs become 500s
+            return self._json_response(
+                500, {"error": "internal server error: "
+                               f"{type(exc).__name__}: {exc}"})
+        response = self._json_response(200, body, etag=etag)
+        if etag is not None:
+            self._remember_response(etag, response)
+        return response
 
-    def start(self) -> "ObservatoryServer":
-        """Serve on a daemon thread; returns self for chaining."""
-        self._thread = threading.Thread(target=self._httpd.serve_forever,
-                                        name="observatory-http", daemon=True)
-        self._thread.start()
-        return self
+    #: Rendered responses kept; enough for every listing's recent pages.
+    RESPONSE_CACHE_ENTRIES = 128
 
-    def serve_forever(self) -> None:
-        """Blocking serve (the CLI foreground mode)."""
-        self._httpd.serve_forever()
+    def _cached_response(self, etag: str
+                         ) -> Optional[tuple[int, list[tuple[str, str]],
+                                             bytes]]:
+        with self._counter_lock:
+            response = self._response_cache.get(etag)
+            if response is not None:
+                self._response_cache_hits += 1
+                # Re-insert: plain-dict LRU, eviction pops oldest.
+                self._response_cache.pop(etag)
+                self._response_cache[etag] = response
+            return response
 
-    def stop(self) -> None:
-        self._httpd.shutdown()
-        self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-            self._thread = None
+    def _remember_response(self, etag: str,
+                           response: tuple[int, list[tuple[str, str]],
+                                           bytes]) -> None:
+        with self._counter_lock:
+            self._response_cache.pop(etag, None)
+            self._response_cache[etag] = response
+            while len(self._response_cache) > self.RESPONSE_CACHE_ENTRIES:
+                self._response_cache.pop(next(iter(self._response_cache)))
+
+    @staticmethod
+    def _etag_matches(etag: str, header: Optional[str]) -> bool:
+        if not header:
+            return False
+        # Concrete matches only: honouring ``*`` ("any current
+        # representation") would answer 304 for resources that do not
+        # exist, since the match runs before the data lookup.
+        return etag in (value.strip() for value in header.split(","))
+
+    @staticmethod
+    def _json_response(status: int, body: dict[str, Any],
+                       etag: Optional[str] = None
+                       ) -> tuple[int, list[tuple[str, str]], bytes]:
+        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        headers = [("Content-Type", "application/json"),
+                   ("Content-Length", str(len(payload)))]
+        if etag is not None:
+            headers += [("ETag", etag), ("Cache-Control", CACHE_CONTROL)]
+        return status, headers, payload
+
+    @staticmethod
+    def _text_response(status: int, text: str
+                       ) -> tuple[int, list[tuple[str, str]], bytes]:
+        payload = text.encode("utf-8")
+        return status, [
+            ("Content-Type", "text/plain; version=0.0.4; charset=utf-8"),
+            ("Content-Length", str(len(payload)))], payload
 
     # -- counters ---------------------------------------------------------
 
@@ -462,6 +511,22 @@ class ObservatoryServer:
         metric("observatory_http_responses_dropped_total",
                self.responses_dropped,
                "Responses dropped because the client disconnected.")
+        metric("observatory_http_response_cache_hits_total",
+               self._response_cache_hits,
+               "200s served from the rendered-response cache (strong "
+               "ETag hit: same store position, same canonical query).")
+        if self.stream_stats is not None:
+            stream = self.stream_stats
+            metric("observatory_stream_subscribers", stream.subscribers,
+                   "SSE subscribers currently connected to /stream/*.")
+            metric("observatory_stream_events_sent_total",
+                   stream.events_sent,
+                   "Events written to SSE subscribers (catch-up + live).")
+            metric("observatory_stream_lagged_total", stream.lagged,
+                   "Slow subscribers dropped to their cursor (bounded "
+                   "queue overflowed; they re-sync from the store).")
+            metric("observatory_stream_resets_total", stream.resets,
+                   "Re-sync signals sent after store generation bumps.")
         if self.views is not None:
             view = self.views.stats()
             metric("observatory_view_watermark", view["watermark"],
@@ -524,3 +589,54 @@ class ObservatoryServer:
                    scan["files_skipped"],
                    "Archive files skipped via the sidecar index.")
         return "\n".join(lines) + "\n"
+
+
+class ObservatoryServer(ObservatoryApp):
+    """The threaded transport: one handler thread per connection.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port` after construction) — the form every test uses.
+    Kept as the parity baseline and escape hatch
+    (``observatory serve --engine threaded``); the asyncio transport in
+    :mod:`repro.observatory.asyncserver` is the default serve path and
+    the only one with ``/stream/*``.
+    """
+
+    def __init__(self, store: EventStore, host: str = "127.0.0.1",
+                 port: int = 0, ingest=None, archive=None, supervisor=None,
+                 use_view: bool = True):
+        super().__init__(store, ingest=ingest, archive=archive,
+                         supervisor=supervisor, use_view=use_view)
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.observatory = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObservatoryServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="observatory-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking serve (the CLI foreground mode)."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

@@ -6,6 +6,7 @@ from repro.realtime.sinks import (
     CallbackSink,
     CountingSink,
     JsonLinesSink,
+    StoreStreamSink,
     serialise_alert,
 )
 from repro.realtime.streaming import (
@@ -23,6 +24,7 @@ __all__ = [
     "JsonLinesSink",
     "ResurrectionAlert",
     "ResurrectionMonitor",
+    "StoreStreamSink",
     "StreamingDetector",
     "ZombieAlert",
     "serialise_alert",

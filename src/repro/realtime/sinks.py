@@ -15,7 +15,7 @@ from typing import Callable, IO, Optional, Union
 from repro.realtime.streaming import ResurrectionAlert, ZombieAlert
 
 __all__ = ["AlertSink", "CallbackSink", "CountingSink", "JsonLinesSink",
-           "AlertDispatcher", "serialise_alert"]
+           "StoreStreamSink", "AlertDispatcher", "serialise_alert"]
 
 Alert = Union[ZombieAlert, ResurrectionAlert]
 
@@ -107,6 +107,36 @@ def _serialise(alert: Alert) -> dict:
         "quiet_seconds": alert.quiet_seconds,
         "path": str(alert.path) if alert.path is not None else None,
     }
+
+
+class StoreStreamSink(AlertSink):
+    """Append alerts straight into an observatory event store — the
+    bridge that makes live detection the natural producer for the
+    ``/stream/*`` SSE endpoints: every alert this sink sees becomes a
+    store event, the serving process's stream hub picks it up on its
+    next poll, and every connected subscriber has it one heartbeat
+    later.
+
+    Events are written exactly as the batch ingest path writes them
+    (same kinds, same ``serialise_alert`` payloads), so consumers
+    cannot tell — and need not care — whether an event arrived via
+    archive replay or live detection.
+    """
+
+    def __init__(self, store):
+        self.store = store
+        self.appended = 0
+
+    def emit(self, alert: Alert) -> None:
+        if isinstance(alert, ZombieAlert):
+            self.store.append("outbreak", alert.detected_at,
+                              serialise_alert(alert))
+        else:
+            self.store.append("resurrection", alert.resurrected_at,
+                              serialise_alert(alert))
+        self.appended += 1
+        # No close() override: the store flushes on every append (its
+        # crash-loss contract), and its lifecycle belongs to the caller.
 
 
 class AlertDispatcher(AlertSink):
