@@ -1,0 +1,266 @@
+#!/usr/bin/env python
+"""Measure the federated scatter-gather tier and emit
+``BENCH_federation.json``.
+
+Builds one event store, serves it monolithically (the PR-7 asyncio
+engine), then partitions the same history over in-process shard fleets
+of 1, 3, and 6 workers behind a ``FederatedObservatoryServer`` and
+times ``GET /outbreaks`` round-trips against every topology.  Merged
+answers are asserted byte-identical to the monolithic server before
+any timing is trusted.
+
+A final leg measures graceful degradation rather than speed: a 3-shard
+federation where one "shard" is a blackhole — a listening socket that
+completes the TCP handshake (kernel backlog) but never accepts or
+answers, the worst kind of failure because connect errors never fire.
+Every request must still come back within the per-shard deadline,
+carry the ``X-Observatory-Partial`` header naming the missing shard,
+and contain exactly the two live shards' rows.  The acceptance bar is
+that the deadline bounds p99: degraded p99 <= deadline + margin.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_federation.py [--events 6000]
+        [--requests 150] [--quick] [--out BENCH_federation.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import socket
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.observatory import (  # noqa: E402
+    AsyncObservatoryServer,
+    EventStore,
+    FederatedObservatoryServer,
+    PARTIAL_HEADER,
+    ShardWorker,
+    partition_store,
+    shard_for,
+)
+
+
+def build_store(root: Path, events: int) -> EventStore:
+    """A deterministic store mixing the three listing kinds over enough
+    prefixes that every shard of a 6-way split owns a real slice."""
+    rng = random.Random(11)
+    store = EventStore(root, segment_max_records=2048)
+    for i in range(events):
+        kind = ("outbreak", "lifespan", "resurrection")[i % 3]
+        prefix = f"10.{rng.randrange(192)}.{rng.randrange(8)}.0/24"
+        payload = {"prefix": prefix, "peers": rng.randrange(1, 40)}
+        if kind == "lifespan":
+            payload.update(segment_count=rng.randrange(0, 4),
+                           resurrection=bool(rng.randrange(2)),
+                           total_seconds=float(rng.randrange(60, 7200)))
+        store.append(kind, 1_700_000_000 + i * 30, payload)
+    store.sync()
+    return store
+
+
+def percentile(latencies: list, fraction: float) -> float:
+    ordered = sorted(latencies)
+    return ordered[int(fraction * (len(ordered) - 1))]
+
+
+def time_requests(url: str, count: int, headers=None) -> dict:
+    """Per-request wall-clock over ``count`` round-trips; the last
+    response body/status/headers ride along for verification."""
+    latencies = []
+    body, status, resp_headers = None, None, {}
+    for _ in range(count):
+        request = urllib.request.Request(url, headers=headers or {})
+        t0 = time.perf_counter()
+        try:
+            with urllib.request.urlopen(request) as response:
+                body = response.read()
+                status = response.status
+                resp_headers = dict(response.headers)
+        except urllib.error.HTTPError as exc:
+            status = exc.code
+            resp_headers = dict(exc.headers)
+            body = exc.read()
+        latencies.append(time.perf_counter() - t0)
+    total = sum(latencies)
+    return {
+        "requests": count,
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        "mean_ms": round(total / count * 1e3, 3),
+        "requests_per_second": round(count / total, 1),
+        "_body": body,
+        "_status": status,
+        "_headers": resp_headers,
+    }
+
+
+def strip(leg: dict) -> dict:
+    return {k: v for k, v in leg.items() if not k.startswith("_")}
+
+
+def federation_leg(tmp: Path, source: Path, shards: int,
+                   requests: int) -> tuple[dict, bytes]:
+    """Partition the store ``shards`` ways, serve it federated, and
+    time ``/outbreaks`` against the merged tier."""
+    roots = partition_store(source, tmp / f"fleet-{shards}", shards)
+    workers = [ShardWorker(source, shard_root, index, shards).start()
+               for index, shard_root in enumerate(roots)]
+    fed = FederatedObservatoryServer(
+        [worker.url for worker in workers]).start()
+    try:
+        leg = time_requests(fed.url + "/outbreaks", requests)
+        return leg, leg["_body"]
+    finally:
+        fed.stop()
+        for worker in workers:
+            worker.stop()
+
+
+def blackhole() -> tuple[socket.socket, str]:
+    """A TCP endpoint that handshakes (kernel backlog) but never
+    accepts or answers — the failure mode connect retries can't see."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.bind(("127.0.0.1", 0))
+    sock.listen(8)
+    return sock, f"http://127.0.0.1:{sock.getsockname()[1]}"
+
+
+def degraded_leg(tmp: Path, source: Path, requests: int,
+                 deadline: float) -> dict:
+    """3-shard federation with shard-01 blackholed: answers must be
+    partial, name the missing shard, and stay inside the deadline."""
+    roots = partition_store(source, tmp / "fleet-degraded", 3)
+    workers = {index: ShardWorker(source, roots[index], index, 3).start()
+               for index in (0, 2)}
+    hole, hole_url = blackhole()
+    urls = [workers[0].url, hole_url, workers[2].url]
+    fed = FederatedObservatoryServer(
+        urls, deadline=deadline, retries=0, breaker_threshold=10 ** 9,
+    ).start()
+    try:
+        leg = time_requests(fed.url + "/outbreaks", requests)
+        assert leg["_status"] == 200, f"degraded status {leg['_status']}"
+        assert leg["_headers"].get(PARTIAL_HEADER) == "shard-01", \
+            f"missing partial header: {leg['_headers']}"
+        rows = json.loads(leg["_body"])["outbreaks"]
+        assert rows and all(shard_for(row["prefix"], 3) != 1
+                            for row in rows), \
+            "degraded answer leaked (or lost) shard rows"
+        return leg
+    finally:
+        fed.stop()
+        for worker in workers.values():
+            worker.stop()
+        hole.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=6000,
+                        help="events in the source store")
+    parser.add_argument("--requests", type=int, default=150,
+                        help="round-trips per topology leg (the degraded "
+                             "leg uses a quarter of this)")
+    parser.add_argument("--deadline", type=float, default=0.5,
+                        help="per-shard deadline for the degraded leg "
+                             "(seconds)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small store and few requests (CI smoke)")
+    parser.add_argument("--out", default="BENCH_federation.json")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.events = min(args.events, 900)
+        args.requests = min(args.requests, 25)
+        args.deadline = min(args.deadline, 0.3)
+
+    results: dict = {"host": {"cpu_count": os.cpu_count()},
+                     "quick": args.quick, "legs": {}}
+    with tempfile.TemporaryDirectory(prefix="bench_federation_") as tmpdir:
+        tmp = Path(tmpdir)
+        store = build_store(tmp / "store", args.events)
+        stats = store.stats()
+        results["workload"] = {
+            "events_total": stats["next_seq"],
+            "outbreak_rows": stats["by_kind"]["outbreak"],
+            "segments": stats["segments"],
+        }
+        print(f"store: {stats['next_seq']} events, "
+              f"{stats['by_kind']['outbreak']} outbreak rows")
+
+        mono = AsyncObservatoryServer(
+            EventStore(tmp / "store", readonly=True)).start()
+        try:
+            baseline = time_requests(mono.url + "/outbreaks", args.requests)
+        finally:
+            mono.stop()
+        print(f"monolithic: p50 {baseline['p50_ms']:8.3f} ms  "
+              f"p99 {baseline['p99_ms']:8.3f} ms  "
+              f"{baseline['requests_per_second']:7.1f} req/s")
+        results["legs"]["monolithic"] = strip(baseline)
+
+        for shards in (1, 3, 6):
+            leg, body = federation_leg(tmp, tmp / "store", shards,
+                                       args.requests)
+            assert body == baseline["_body"], \
+                f"{shards}-shard merged body differs from the monolith"
+            print(f" {shards}-shard:   p50 {leg['p50_ms']:8.3f} ms  "
+                  f"p99 {leg['p99_ms']:8.3f} ms  "
+                  f"{leg['requests_per_second']:7.1f} req/s")
+            results["legs"][f"federated_{shards}"] = strip(leg)
+
+        degraded_requests = max(8, args.requests // 4)
+        degraded = degraded_leg(tmp, tmp / "store", degraded_requests,
+                                args.deadline)
+        print(f"  degraded: p50 {degraded['p50_ms']:8.3f} ms  "
+              f"p99 {degraded['p99_ms']:8.3f} ms  "
+              f"(deadline {args.deadline * 1e3:.0f} ms, blackholed "
+              f"shard-01)")
+        results["legs"]["degraded_blackhole"] = strip(degraded)
+
+    fed3 = results["legs"]["federated_3"]
+    margin_ms = 250.0  # scheduling slack on loaded CI hosts
+    bound_ms = args.deadline * 1e3 + margin_ms
+    results["degraded"] = {
+        "deadline_ms": args.deadline * 1e3,
+        "margin_ms": margin_ms,
+        "p99_bound_ms": bound_ms,
+        "deadline_bounds_p99":
+            results["legs"]["degraded_blackhole"]["p99_ms"] <= bound_ms,
+    }
+    results["overhead"] = {
+        "federated_3_vs_monolithic_p50": round(
+            fed3["p50_ms"] / baseline["p50_ms"], 2),
+        "federated_6_vs_monolithic_p50": round(
+            results["legs"]["federated_6"]["p50_ms"] / baseline["p50_ms"],
+            2),
+    }
+    print(f"overhead (p50): 3-shard "
+          f"{results['overhead']['federated_3_vs_monolithic_p50']}x, "
+          f"6-shard "
+          f"{results['overhead']['federated_6_vs_monolithic_p50']}x; "
+          f"degraded p99 bounded: "
+          f"{results['degraded']['deadline_bounds_p99']}")
+    if not results["degraded"]["deadline_bounds_p99"]:
+        print("FAIL: blackholed-shard p99 exceeded the deadline bound",
+              file=sys.stderr)
+        return 1
+
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2, sort_keys=False) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

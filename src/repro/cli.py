@@ -10,7 +10,8 @@ Commands
 ``index``        write sidecar file indexes for an existing archive
 ``observatory``  the long-running detection service (§6):
                  ``synth`` / ``ingest`` / ``serve`` / ``tail`` /
-                 ``query`` / ``compact`` / ``doctor``
+                 ``query`` / ``compact`` / ``doctor`` /
+                 ``fleet {serve,status,worker}``
 ``mirror``       the archive transport layer:
                  ``serve`` / ``sync`` / ``watch`` / ``verify`` / ``proxy``
 
@@ -21,6 +22,7 @@ filters) exit with code 2 and a one-line message, never a traceback.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -127,8 +129,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "/metrics on this port while ingesting")
 
     doctor = obs.add_parser(
-        "doctor", help="fsck an event store: verify and repair segments")
-    doctor.add_argument("store", help="event store directory")
+        "doctor", help="fsck an event store: verify and repair segments "
+                       "(a fleet root fans out over every shard store)")
+    doctor.add_argument("store", help="event store directory, or a fleet "
+                                      "root holding shard-NN stores")
     doctor.add_argument("--check", action="store_true",
                         help="report only; do not repair anything")
 
@@ -199,6 +203,59 @@ def build_parser() -> argparse.ArgumentParser:
                          help="rewrite sealed history in this segment "
                               "format (default: columnar — binary "
                               "mmap-read .colseg files)")
+
+    fleet = obs.add_parser(
+        "fleet", help="sharded observatory: a supervised shard fleet plus "
+                      "a fault-tolerant federated query tier")
+    flt = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fserve = flt.add_parser(
+        "serve", help="partition a store over N shard workers and serve "
+                      "the federated scatter-gather API in front of them")
+    fserve.add_argument("store", help="source event store to shard")
+    fserve.add_argument("fleet_root",
+                        help="directory for shard stores and worker logs")
+    fserve.add_argument("--shards", type=int, default=3)
+    fserve.add_argument("--host", default="127.0.0.1")
+    fserve.add_argument("--port", type=int, default=8490,
+                        help="federated query port (shard worker ports "
+                             "are OS-assigned)")
+    fserve.add_argument("--deadline", type=float, default=2.0,
+                        help="per-shard scatter deadline in seconds")
+    fserve.add_argument("--retries", type=int, default=1,
+                        help="extra connect attempts per shard request")
+    fserve.add_argument("--hedge-after", type=float, default=None,
+                        help="race a hedged second request against a "
+                             "shard slower than this many seconds")
+    fserve.add_argument("--breaker-threshold", type=int, default=3,
+                        help="consecutive failures before a shard's "
+                             "circuit opens")
+    fserve.add_argument("--breaker-open-seconds", type=float, default=5.0,
+                        help="seconds an open circuit refuses requests "
+                             "before its half-open probe")
+    fserve.add_argument("--max-restarts", type=int, default=5,
+                        help="consecutive crashes tolerated per shard "
+                             "before the supervisor gives up on it")
+    fserve.add_argument("--restart-backoff", type=float, default=0.2,
+                        help="base delay before respawning a dead shard "
+                             "(doubles per consecutive crash)")
+    fserve.add_argument("--poll-interval", type=float, default=0.05,
+                        help="shard workers' source-store poll cadence")
+
+    fstatus = flt.add_parser(
+        "status", help="fleet-wide health of a running federated server")
+    fstatus.add_argument("url", help="federated observatory base URL")
+
+    fworker = flt.add_parser(
+        "worker", help="one shard worker (normally spawned by the fleet "
+                       "supervisor, not by hand)")
+    fworker.add_argument("store", help="source event store")
+    fworker.add_argument("shard_root", help="this shard's store directory")
+    fworker.add_argument("--index", type=int, required=True)
+    fworker.add_argument("--count", type=int, required=True)
+    fworker.add_argument("--host", default="127.0.0.1")
+    fworker.add_argument("--port", type=int, default=0)
+    fworker.add_argument("--poll-interval", type=float, default=0.05)
 
     mirror = sub.add_parser(
         "mirror", help="HTTP archive transport (serve / sync / verify)")
@@ -392,6 +449,7 @@ def _cmd_observatory(args) -> int:
         "query": _cmd_observatory_query,
         "compact": _cmd_observatory_compact,
         "doctor": _cmd_observatory_doctor,
+        "fleet": _cmd_observatory_fleet,
     }
     return handlers[args.observatory_command](args)
 
@@ -505,19 +563,18 @@ def _run_supervised(args, store, make_ingest) -> int:
     return 0 if ok else 1
 
 
-def _cmd_observatory_doctor(args) -> int:
-    from repro.observatory import fsck
-
-    report = fsck(args.store, repair=not args.check)
-    mode = "check" if args.check else "repair"
+def _doctor_exit(report, check: bool, label: str = "store") -> int:
+    """Print one fsck report and return its exit code."""
+    mode = "check" if check else "repair"
     print(f"doctor ({mode}): {report.segments_checked} segment(s), "
-          f"{report.events_checked} event(s) checked")
+          f"{report.events_checked} event(s) checked"
+          + (f" [{label}]" if label != "store" else ""))
     for issue in report.issues:
         print(f"  ISSUE: {issue}", file=sys.stderr)
     for action in report.actions:
         print(f"  fixed: {action}")
     if report.clean:
-        print("store is clean")
+        print(f"{label} is clean")
         return 0
     if report.unrecoverable:
         print(f"unrecoverable damage: {report.events_lost} event(s) lost",
@@ -525,10 +582,31 @@ def _cmd_observatory_doctor(args) -> int:
         return 1
     # Issues found; in repair mode they were all fixed without loss —
     # unless nothing could be done at all (e.g. the path is not a store).
-    return 1 if args.check or not report.actions else 0
+    return 1 if check or not report.actions else 0
+
+
+def _cmd_observatory_doctor(args) -> int:
+    from pathlib import Path
+
+    from repro.observatory import fsck, fsck_fleet
+    from repro.observatory.doctor import fleet_shard_roots
+
+    root = Path(args.store)
+    if not (root / "manifest.json").exists() and fleet_shard_roots(root):
+        # A fleet root: fan the fsck out over every shard store; the
+        # exit code is the worst of the per-shard verdicts.
+        reports = fsck_fleet(root, repair=not args.check)
+        worst = 0
+        for name, report in sorted(reports.items()):
+            worst = max(worst, _doctor_exit(report, args.check, label=name))
+        print(f"fleet: {len(reports)} shard store(s) checked")
+        return worst
+    return _doctor_exit(fsck(args.store, repair=not args.check), args.check)
 
 
 def _cmd_observatory_serve(args) -> int:
+    import signal
+
     from repro.observatory import EventStore, ObservatoryServer
     from repro.observatory.asyncserver import AsyncObservatoryServer
     from repro.ris import Archive
@@ -538,18 +616,92 @@ def _cmd_observatory_serve(args) -> int:
     if args.engine == "threaded":
         server = ObservatoryServer(store, host=args.host, port=args.port,
                                    archive=archive, use_view=args.view)
-        print(f"observatory listening on {server.url} (threaded)")
+        print(f"observatory listening on {server.url} (threaded)",
+              flush=True)
+        # Graceful SIGTERM: stop accepting, finish in-flight handlers
+        # (non-daemon handler threads are joined by stop()), exit 0.
+        try:
+            signal.signal(signal.SIGTERM,
+                          lambda signum, frame: server.request_shutdown())
+        except ValueError:
+            pass  # not on the main thread (embedded use)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        server.stop()
     else:
         server = AsyncObservatoryServer(store, host=args.host,
                                         port=args.port, archive=archive,
                                         use_view=args.view)
         print(f"observatory listening on http://{args.host}:{args.port} "
-              f"(async, streaming on /stream/*)")
+              f"(async, streaming on /stream/*)", flush=True)
+        try:
+            # Installs SIGTERM/SIGINT handlers itself: on either it
+            # drains in-flight requests, sends SSE subscribers a final
+            # frame, and returns.
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def _cmd_observatory_fleet(args) -> int:
+    handlers = {
+        "serve": _cmd_observatory_fleet_serve,
+        "status": _cmd_observatory_fleet_status,
+        "worker": _cmd_observatory_fleet_worker,
+    }
+    return handlers[args.fleet_command](args)
+
+
+def _cmd_observatory_fleet_serve(args) -> int:
+    from repro.observatory.federation import FederatedObservatoryServer
+    from repro.observatory.fleet import ShardFleet
+
+    fleet = ShardFleet(args.store, args.fleet_root, shards=args.shards,
+                       host=args.host, poll_interval=args.poll_interval,
+                       max_restarts=args.max_restarts,
+                       backoff=args.restart_backoff,
+                       backoff_cap=max(5.0, args.restart_backoff))
+    fleet.start()
+    print(f"fleet: {args.shards} shard worker(s) under {args.fleet_root}",
+          flush=True)
+    server = FederatedObservatoryServer(
+        fleet.shard_urls(), host=args.host, port=args.port,
+        deadline=args.deadline, retries=args.retries,
+        hedge_after=args.hedge_after,
+        breaker_threshold=args.breaker_threshold,
+        breaker_open_seconds=args.breaker_open_seconds, fleet=fleet)
+    print(f"federated observatory listening on "
+          f"http://{args.host}:{args.port}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
+    finally:
+        fleet.stop()
     return 0
+
+
+def _cmd_observatory_fleet_status(args) -> int:
+    import json
+
+    from repro.observatory import ObservatoryClient
+
+    client = ObservatoryClient(args.url)
+    body = client.healthz()
+    print(json.dumps(body, indent=2, sort_keys=True))
+    return 0 if body.get("status") == "ok" else 1
+
+
+def _cmd_observatory_fleet_worker(args) -> int:
+    from repro.observatory.fleet import ShardWorker
+
+    worker = ShardWorker(args.store, args.shard_root, args.index,
+                         args.count, host=args.host, port=args.port,
+                         poll_interval=args.poll_interval)
+    return worker.run_forever()
 
 
 def _cmd_observatory_tail(args) -> int:
@@ -786,6 +938,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ValueError as exc:
         print(f"repro {args.command}: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed early (`... | head`): exit quietly, and
+        # hand stdout a dead fd so the interpreter's shutdown flush
+        # doesn't print its own traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE, the shell convention
 
 
 if __name__ == "__main__":

@@ -33,6 +33,11 @@ miniature:
 * :mod:`repro.observatory.doctor` is the store fsck behind
   ``observatory doctor``: torn/bit-rotted/orphaned segment detection
   and manifest repair;
+* :mod:`repro.observatory.fleet` /
+  :mod:`repro.observatory.federation` shard the store by prefix over a
+  supervised worker fleet and scatter-gather queries across it with
+  per-shard deadlines, retries, circuit breakers, and explicit partial
+  results (DESIGN.md §15);
 * :mod:`repro.observatory.synthetic` builds a small scripted campaign
   archive so the whole loop can be exercised without real RIS data.
 """
@@ -48,9 +53,23 @@ from repro.observatory.client import (
     ObservatoryProtocolError,
     ObservatoryUnreachable,
 )
-from repro.observatory.asyncserver import AsyncObservatoryServer
+from repro.observatory.asyncserver import (
+    AsyncHTTPTransport,
+    AsyncObservatoryServer,
+)
 from repro.observatory.colseg import ColsegError, ColumnarSegment
-from repro.observatory.doctor import FsckReport, fsck
+from repro.observatory.doctor import FsckReport, fsck, fsck_fleet
+from repro.observatory.federation import (
+    PARTIAL_HEADER,
+    CircuitBreaker,
+    FederatedObservatoryServer,
+)
+from repro.observatory.fleet import (
+    ShardFleet,
+    ShardWorker,
+    partition_store,
+    shard_for,
+)
 from repro.observatory.ingest import ObservatoryIngest
 from repro.observatory.server import ObservatoryApp, ObservatoryServer
 from repro.observatory.store import EventStore, file_sha256
@@ -64,11 +83,14 @@ from repro.observatory.stream import StreamHub, StreamStats
 from repro.observatory.views import MaterializedViews
 
 __all__ = [
+    "AsyncHTTPTransport",
     "AsyncObservatoryServer",
     "CHECKPOINT_VERSION",
+    "CircuitBreaker",
     "ColsegError",
     "ColumnarSegment",
     "EventStore",
+    "FederatedObservatoryServer",
     "FsckReport",
     "MaterializedViews",
     "ObservatoryApp",
@@ -79,13 +101,19 @@ __all__ = [
     "ObservatorySupervisor",
     "ObservatoryUnreachable",
     "ObservatoryServer",
+    "PARTIAL_HEADER",
+    "ShardFleet",
+    "ShardWorker",
     "StreamHub",
     "StreamStats",
     "SyntheticScenario",
     "build_synthetic_archive",
     "file_sha256",
     "fsck",
+    "fsck_fleet",
     "load_checkpoint",
     "load_scenario",
+    "partition_store",
     "save_checkpoint",
+    "shard_for",
 ]

@@ -17,6 +17,19 @@ written back with HTTP/1.1 keep-alive — repeat queries skip the
 connect + thread-spawn tax entirely.  Streams never touch the executor
 pool after catch-up: they wait on their hub queue.
 
+The transport half lives in :class:`AsyncHTTPTransport` — lifecycle,
+the connection loop, head parsing, graceful drain and signal handling —
+with a single ``_dispatch`` hook per request.  The federated query tier
+(:mod:`repro.observatory.federation`) reuses it unchanged; this module
+adds the ``ObservatoryApp`` dispatch plus SSE streaming on top.
+
+Shutdown is graceful by contract (SIGTERM or ``stop()``): the listener
+closes first (no new connections), every in-flight request finishes,
+SSE subscribers get a final ``: shutdown`` comment frame, and only
+connections still busy after ``drain_timeout`` are cancelled.  The old
+behaviour — cancel every connection task immediately — could kill a
+response mid-write.
+
 ``/stream/outbreaks``, ``/stream/resurrections`` and ``/stream/events``
 serve Server-Sent Events that tail the event store by ``seq``:
 
@@ -43,6 +56,7 @@ from __future__ import annotations
 
 import asyncio
 import http.client
+import signal
 import threading
 from typing import Any, Optional
 from urllib.parse import parse_qs, urlsplit
@@ -61,7 +75,7 @@ from repro.observatory.stream import (
     parse_token,
 )
 
-__all__ = ["AsyncObservatoryServer", "STREAM_PATHS"]
+__all__ = ["AsyncHTTPTransport", "AsyncObservatoryServer", "STREAM_PATHS"]
 
 #: Stream endpoint -> event-kind filter (``None`` = every kind).
 STREAM_PATHS: dict[str, Optional[tuple[str, ...]]] = {
@@ -76,48 +90,61 @@ def _first(params: dict, name: str) -> Optional[str]:
     return values[0] if values else None
 
 
-class AsyncObservatoryServer(ObservatoryApp):
-    """Asyncio transport over :class:`ObservatoryApp` + SSE streaming.
+class AsyncHTTPTransport:
+    """Asyncio GET-only HTTP/1.1 transport with graceful shutdown.
 
-    Mirrors the threaded server's lifecycle exactly — ``start()`` runs
-    the event loop on a daemon thread (ephemeral ``port=0`` readable
-    back after start), ``serve_forever()`` blocks in the foreground,
-    ``stop()`` is thread-safe — so the CLI, the supervisor and every
-    test can swap engines without touching anything else.
+    Subclasses implement ``async _dispatch(path, params, headers,
+    writer, keep_alive) -> bool`` (the return value decides whether the
+    connection loop continues) plus the optional ``_on_startup`` /
+    ``_on_cleanup`` hooks, which run inside the event loop before the
+    listener opens and after it drains.
 
-    Tuning knobs (all with production-shaped defaults): ``poll_interval``
-    is the hub's store-poll cadence and therefore the floor on
-    append-to-deliver latency; ``queue_events`` bounds each subscriber's
-    live queue (overflow = drop-to-cursor); ``heartbeat`` spaces SSE
-    keepalive comments; ``write_buffer`` caps the per-connection kernel
-    send buffer so slow consumers backpressure instead of growing heap.
+    Lifecycle mirrors the threaded server exactly — ``start()`` runs
+    the loop on a daemon thread (ephemeral ``port=0`` readable back
+    after start), ``serve_forever()`` blocks in the foreground and
+    installs SIGTERM/SIGINT handlers for a graceful exit, ``stop()`` is
+    thread-safe — so the CLI, the supervisor and every test can swap
+    engines without touching anything else.
+
+    Shutdown sequence: close the listener, set ``_draining`` (the
+    connection loop stops accepting follow-up keep-alive requests and
+    SSE tails wind down with a final frame), wait up to
+    ``drain_timeout`` seconds for in-flight connections, cancel
+    whatever is still stuck.
     """
 
-    def __init__(self, store: EventStore, host: str = "127.0.0.1",
-                 port: int = 0, ingest=None, archive=None, supervisor=None,
-                 use_view: bool = True, poll_interval: float = 0.05,
-                 queue_events: int = 256, heartbeat: float = 15.0,
-                 write_buffer: int = 1 << 16, batch_events: int = 1024):
-        super().__init__(store, ingest=ingest, archive=archive,
-                         supervisor=supervisor, use_view=use_view)
-        self.stream_stats = StreamStats()
-        self.poll_interval = poll_interval
-        self.queue_events = queue_events
-        self.heartbeat = heartbeat
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 drain_timeout: float = 5.0, write_buffer: int = 1 << 16):
+        self.drain_timeout = drain_timeout
         self.write_buffer = write_buffer
-        self.batch_events = batch_events
-        self.hub: Optional[StreamHub] = None
         self._requested = (host, port)
         self._host: Optional[str] = None
         self._port: Optional[int] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._shutdown: Optional[asyncio.Event] = None
+        self._draining: Optional[asyncio.Event] = None
         self._connections: set[asyncio.Task] = set()
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()
         self._startup_error: Optional[BaseException] = None
 
-    # -- lifecycle --------------------------------------------------------
+    # -- counters (real implementations live in the app mixin) ------------
+
+    def count_request(self) -> None:
+        pass
+
+    def count_dropped_response(self) -> None:
+        pass
+
+    # -- lifecycle hooks ---------------------------------------------------
+
+    async def _on_startup(self) -> None:
+        pass
+
+    async def _on_cleanup(self) -> None:
+        pass
+
+    # -- lifecycle ---------------------------------------------------------
 
     @property
     def host(self) -> str:
@@ -133,7 +160,7 @@ class AsyncObservatoryServer(ObservatoryApp):
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
-    def start(self) -> "AsyncObservatoryServer":
+    def start(self) -> "AsyncHTTPTransport":
         """Run the event loop on a daemon thread; returns self."""
         self._thread = threading.Thread(target=self._run_loop,
                                         name="observatory-async", daemon=True)
@@ -153,9 +180,12 @@ class AsyncObservatoryServer(ObservatoryApp):
         finally:
             self._started.set()
 
-    def serve_forever(self) -> None:
-        """Blocking serve (the CLI foreground mode)."""
-        asyncio.run(self._main())
+    def serve_forever(self, install_signal_handlers: bool = True) -> None:
+        """Blocking serve (the CLI foreground mode).  SIGTERM/SIGINT
+        trigger the graceful drain and this returns normally — the CLI
+        exits 0."""
+        asyncio.run(self._main(
+            install_signal_handlers=install_signal_handlers))
 
     def stop(self) -> None:
         loop, shutdown = self._loop, self._shutdown
@@ -165,30 +195,45 @@ class AsyncObservatoryServer(ObservatoryApp):
             except RuntimeError:
                 pass  # loop shut down in the meantime
         if self._thread is not None:
-            self._thread.join(timeout=10)
+            self._thread.join(timeout=30)
             self._thread = None
 
-    async def _main(self) -> None:
+    async def _main(self, install_signal_handlers: bool = False) -> None:
         self._loop = asyncio.get_running_loop()
         self._shutdown = asyncio.Event()
-        self.hub = StreamHub(self.store, self.stream_stats,
-                             poll_interval=self.poll_interval,
-                             batch_events=self.batch_events)
+        self._draining = asyncio.Event()
+        await self._on_startup()
         server = await asyncio.start_server(self._on_connection,
                                             *self._requested)
-        watcher = asyncio.create_task(self.hub.run())
+        installed: list[int] = []
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(signum, self._shutdown.set)
+                    installed.append(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass  # non-main thread or unsupported platform
         sockname = server.sockets[0].getsockname()
         self._host, self._port = sockname[0], sockname[1]
         self._started.set()
         try:
             await self._shutdown.wait()
         finally:
-            watcher.cancel()
-            for task in list(self._connections):
-                task.cancel()
+            for signum in installed:
+                self._loop.remove_signal_handler(signum)
+            # Graceful drain: stop accepting, let in-flight requests
+            # finish (SSE tails see _draining and send a final frame),
+            # cancel only what is still stuck after the timeout.
             server.close()
             await server.wait_closed()
-            await asyncio.gather(watcher, *list(self._connections),
+            self._draining.set()
+            if self._connections:
+                await asyncio.wait(set(self._connections),
+                                   timeout=self.drain_timeout)
+            for task in list(self._connections):
+                task.cancel()
+            await self._on_cleanup()
+            await asyncio.gather(*list(self._connections),
                                  return_exceptions=True)
 
     # -- connection handling ----------------------------------------------
@@ -216,18 +261,42 @@ class AsyncObservatoryServer(ObservatoryApp):
             except (OSError, asyncio.CancelledError):
                 pass
 
+    async def _next_head(self, reader: asyncio.StreamReader
+                         ) -> Optional[bytes]:
+        """The next request head, or ``None`` once draining begins with
+        no request in flight on this connection.  A head that completes
+        in the cancellation race is rescued, not dropped — the request
+        was received and will be answered before the connection dies."""
+        assert self._draining is not None
+        read_task = asyncio.ensure_future(reader.readuntil(b"\r\n\r\n"))
+        drain_task = asyncio.ensure_future(self._draining.wait())
+        try:
+            await asyncio.wait({read_task, drain_task},
+                               return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            drain_task.cancel()
+        if read_task.done():
+            return read_task.result()
+        read_task.cancel()
+        try:
+            return await read_task
+        except asyncio.CancelledError:
+            return None
+
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
-        loop = asyncio.get_running_loop()
+        assert self._draining is not None
         while True:
             try:
-                head = await reader.readuntil(b"\r\n\r\n")
+                head = await self._next_head(reader)
             except asyncio.IncompleteReadError:
                 return  # client closed (or sent nothing) between requests
             except asyncio.LimitOverrunError:
                 await self._send_error(writer, 431,
                                        "request header section too large")
                 return
+            if head is None:
+                return  # draining, connection idle
             try:
                 method, target, version, headers = self._parse_head(head)
             except ValueError as exc:
@@ -240,20 +309,18 @@ class AsyncObservatoryServer(ObservatoryApp):
                 return
             url = urlsplit(target)
             params = parse_qs(url.query)
-            if url.path in STREAM_PATHS:
-                self.count_request()
-                await self._serve_stream(writer, url.path, params, headers)
-                return  # streams end with the connection
-            status, response_headers, payload = await loop.run_in_executor(
-                None, self.respond, url.path, params,
-                headers.get("if-none-match"))
             keep_alive = (version == "HTTP/1.1"
                           and headers.get("connection", "").lower() != "close")
-            self._write_head(writer, status, response_headers, keep_alive)
-            writer.write(payload)
-            await writer.drain()
-            if not keep_alive:
+            keep_alive = await self._dispatch(url.path, params, headers,
+                                              writer, keep_alive)
+            if not keep_alive or self._draining.is_set():
                 return
+
+    async def _dispatch(self, path: str, params: dict,
+                        headers: dict[str, str],
+                        writer: asyncio.StreamWriter,
+                        keep_alive: bool) -> bool:
+        raise NotImplementedError
 
     @staticmethod
     def _parse_head(head: bytes) -> tuple[str, str, str, dict[str, str]]:
@@ -287,11 +354,74 @@ class AsyncObservatoryServer(ObservatoryApp):
 
     async def _send_error(self, writer: asyncio.StreamWriter, status: int,
                           message: str) -> None:
-        status, headers, payload = self._json_response(status,
-                                                       {"error": message})
+        status, headers, payload = ObservatoryApp._json_response(
+            status, {"error": message})
         self._write_head(writer, status, headers, keep_alive=False)
         writer.write(payload)
         await writer.drain()
+
+
+class AsyncObservatoryServer(ObservatoryApp, AsyncHTTPTransport):
+    """Asyncio transport over :class:`ObservatoryApp` + SSE streaming.
+
+    Tuning knobs (all with production-shaped defaults): ``poll_interval``
+    is the hub's store-poll cadence and therefore the floor on
+    append-to-deliver latency; ``queue_events`` bounds each subscriber's
+    live queue (overflow = drop-to-cursor); ``heartbeat`` spaces SSE
+    keepalive comments; ``write_buffer`` caps the per-connection kernel
+    send buffer so slow consumers backpressure instead of growing heap;
+    ``drain_timeout`` bounds the graceful-shutdown wait for in-flight
+    connections.
+    """
+
+    def __init__(self, store: EventStore, host: str = "127.0.0.1",
+                 port: int = 0, ingest=None, archive=None, supervisor=None,
+                 use_view: bool = True, poll_interval: float = 0.05,
+                 queue_events: int = 256, heartbeat: float = 15.0,
+                 write_buffer: int = 1 << 16, batch_events: int = 1024,
+                 drain_timeout: float = 5.0):
+        ObservatoryApp.__init__(self, store, ingest=ingest, archive=archive,
+                                supervisor=supervisor, use_view=use_view)
+        AsyncHTTPTransport.__init__(self, host=host, port=port,
+                                    drain_timeout=drain_timeout,
+                                    write_buffer=write_buffer)
+        self.stream_stats = StreamStats()
+        self.poll_interval = poll_interval
+        self.queue_events = queue_events
+        self.heartbeat = heartbeat
+        self.batch_events = batch_events
+        self.hub: Optional[StreamHub] = None
+        self._watcher: Optional[asyncio.Task] = None
+
+    # -- transport hooks ---------------------------------------------------
+
+    async def _on_startup(self) -> None:
+        self.hub = StreamHub(self.store, self.stream_stats,
+                             poll_interval=self.poll_interval,
+                             batch_events=self.batch_events)
+        self._watcher = asyncio.create_task(self.hub.run())
+
+    async def _on_cleanup(self) -> None:
+        if self._watcher is not None:
+            self._watcher.cancel()
+            await asyncio.gather(self._watcher, return_exceptions=True)
+            self._watcher = None
+
+    async def _dispatch(self, path: str, params: dict,
+                        headers: dict[str, str],
+                        writer: asyncio.StreamWriter,
+                        keep_alive: bool) -> bool:
+        if path in STREAM_PATHS:
+            self.count_request()
+            await self._serve_stream(writer, path, params, headers)
+            return False  # streams end with the connection
+        loop = asyncio.get_running_loop()
+        status, response_headers, payload = await loop.run_in_executor(
+            None, self.respond, path, params, headers.get("if-none-match"))
+        self._write_head(writer, status, response_headers, keep_alive)
+        writer.write(payload)
+        await writer.drain()
+        return keep_alive
 
     # -- SSE streaming ----------------------------------------------------
 
@@ -306,7 +436,13 @@ class AsyncObservatoryServer(ObservatoryApp):
         it considers — so a lag drop, which discards the queue and
         re-enters catch-up at the cursor, can neither lose nor repeat
         an event.
+
+        A draining server ends the stream cleanly: the tail loop exits,
+        a final ``: shutdown`` comment frame tells the client this was
+        a deliberate goodbye (its resume token still works against the
+        restarted server), and the connection closes.
         """
+        assert self._draining is not None
         kinds = STREAM_PATHS[path]
         loop = asyncio.get_running_loop()
         raw_token = headers.get("last-event-id") or _first(params, "cursor")
@@ -342,7 +478,7 @@ class AsyncObservatoryServer(ObservatoryApp):
         assert self.hub is not None
         self.stream_stats.subscribers += 1
         try:
-            while True:
+            while not self._draining.is_set():
                 subscription = Subscription(self.queue_events)
                 self.hub.attach(subscription)
                 try:
@@ -355,6 +491,8 @@ class AsyncObservatoryServer(ObservatoryApp):
                 # Lagged: the queue overflowed while this consumer was
                 # slow.  Its cursor still names the next event it owes,
                 # so loop back into catch-up — drop-to-cursor.
+            writer.write(format_comment("shutdown"))
+            await writer.drain()
         finally:
             self.stream_stats.subscribers -= 1
 
@@ -394,8 +532,9 @@ class AsyncObservatoryServer(ObservatoryApp):
                         kinds: Optional[tuple[str, ...]],
                         generation: int, cursor: int) -> tuple[int, int]:
         """Replay ``[cursor, position)`` from the store, in batches."""
+        assert self._draining is not None
         loop = asyncio.get_running_loop()
-        while True:
+        while not self._draining.is_set():
             current, stop = await loop.run_in_executor(
                 None, self.store.position)
             if current != generation:
@@ -411,36 +550,57 @@ class AsyncObservatoryServer(ObservatoryApp):
                 writer.write(format_event(event, generation))
                 self.stream_stats.events_sent += 1
             await writer.drain()
+        return generation, cursor
 
     async def _tail_live(self, writer: asyncio.StreamWriter,
                          subscription: Subscription,
                          kinds: Optional[tuple[str, ...]],
                          generation: int, cursor: int) -> tuple[int, int]:
-        """Consume the hub queue until this subscriber lags."""
-        while not subscription.lagged:
-            try:
-                entry = await asyncio.wait_for(subscription.queue.get(),
-                                               timeout=self.heartbeat)
-            except TimeoutError:
-                writer.write(format_comment("keepalive"))
+        """Consume the hub queue until this subscriber lags or the
+        server starts draining (queue entries already delivered by the
+        hub are flushed to the client before the stream winds down)."""
+        assert self._draining is not None
+        drain_task = asyncio.ensure_future(self._draining.wait())
+        try:
+            while not subscription.lagged:
+                get_task = asyncio.ensure_future(subscription.queue.get())
+                await asyncio.wait({get_task, drain_task},
+                                   timeout=self.heartbeat,
+                                   return_when=asyncio.FIRST_COMPLETED)
+                if not get_task.done():
+                    get_task.cancel()
+                    try:
+                        # Rescue an entry that arrived in the cancel
+                        # race — dropping it would advance nothing and
+                        # lose the event for good.
+                        entry = await get_task
+                    except asyncio.CancelledError:
+                        if drain_task.done():
+                            return generation, cursor
+                        writer.write(format_comment("keepalive"))
+                        await writer.drain()
+                        continue
+                else:
+                    entry = get_task.result()
+                if isinstance(entry, tuple) and entry[0] == RESET:
+                    _, entry_generation, entry_next = entry
+                    if entry_generation == generation \
+                            and entry_next <= cursor:
+                        continue  # already announced during catch-up
+                    generation, cursor = entry_generation, entry_next
+                    writer.write(format_reset(generation, cursor))
+                    self.stream_stats.resets += 1
+                    await writer.drain()
+                    continue
+                seq = entry["seq"]
+                if seq < cursor:
+                    continue  # already replayed from the store
+                cursor = seq + 1
+                if kinds is not None and entry["kind"] not in kinds:
+                    continue
+                writer.write(format_event(entry, generation))
+                self.stream_stats.events_sent += 1
                 await writer.drain()
-                continue
-            if isinstance(entry, tuple) and entry[0] == RESET:
-                _, entry_generation, entry_next = entry
-                if entry_generation == generation and entry_next <= cursor:
-                    continue  # already announced during catch-up
-                generation, cursor = entry_generation, entry_next
-                writer.write(format_reset(generation, cursor))
-                self.stream_stats.resets += 1
-                await writer.drain()
-                continue
-            seq = entry["seq"]
-            if seq < cursor:
-                continue  # already replayed from the store
-            cursor = seq + 1
-            if kinds is not None and entry["kind"] not in kinds:
-                continue
-            writer.write(format_event(entry, generation))
-            self.stream_stats.events_sent += 1
-            await writer.drain()
-        return generation, cursor
+            return generation, cursor
+        finally:
+            drain_task.cancel()

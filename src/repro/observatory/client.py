@@ -97,7 +97,15 @@ class ObservatoryClient:
     ``timeout`` argument sets whichever of the two was not given
     explicitly.  ``retries`` extra attempts are made on connect
     failures and 5xx responses, sleeping ``backoff * 2**attempt``
-    between them (``sleep`` is injectable for tests).
+    between them, never more than ``backoff_cap`` seconds (``sleep`` is
+    injectable for tests).  A numeric ``Retry-After`` on a 5xx answer
+    overrides the computed backoff — the server knows how long it needs
+    — but is capped the same way.
+
+    When the answer came from a degraded federated observatory, the
+    shard names it was missing are surfaced in :attr:`last_partial`
+    (from the ``X-Observatory-Partial`` header); ``None`` means the
+    answer was complete.
     """
 
     #: Most-recently validated (etag, body) pairs kept per URL.
@@ -107,7 +115,8 @@ class ObservatoryClient:
                  retries: int = 2, backoff: float = 0.2,
                  sleep: Callable[[float], None] = time.sleep,
                  connect_timeout: Optional[float] = None,
-                 read_timeout: Optional[float] = None):
+                 read_timeout: Optional[float] = None,
+                 backoff_cap: float = 30.0):
         self.base_url = base_url.rstrip("/")
         split = urlsplit(self.base_url)
         if split.scheme not in ("http", "https") or not split.netloc:
@@ -120,12 +129,28 @@ class ObservatoryClient:
                              else timeout if timeout is not None else 10.0)
         self.retries = max(0, int(retries))
         self.backoff = backoff
+        self.backoff_cap = backoff_cap
         self._sleep = sleep
         self._etag_cache: dict[str, tuple[str, str]] = {}
         #: Requests answered 304 and served from the local cache.
         self.revalidations = 0
         #: Resume token of the last event yielded by :meth:`stream`.
         self.stream_token: Optional[str] = None
+        #: Shard names missing from the last answer (the federated
+        #: ``X-Observatory-Partial`` header), or ``None`` if complete.
+        self.last_partial: Optional[tuple[str, ...]] = None
+
+    def _delay(self, attempt: int,
+               retry_after: Optional[str] = None) -> float:
+        """Seconds to sleep before retry ``attempt`` (0-based): capped
+        exponential backoff, overridden by a numeric ``Retry-After``
+        (still capped — the cap is the client's own patience)."""
+        if retry_after is not None:
+            try:
+                return min(self.backoff_cap, max(0.0, float(retry_after)))
+            except ValueError:
+                pass  # HTTP-date form: fall back to computed backoff
+        return min(self.backoff_cap, self.backoff * (2 ** attempt))
 
     def _remember(self, url: str, etag: str, body: str) -> None:
         self._etag_cache.pop(url, None)
@@ -166,7 +191,7 @@ class ObservatoryClient:
                 # sent, so trying again cannot double-deliver anything.
                 last = exc
                 if attempt < self.retries:
-                    self._sleep(self.backoff * (2 ** attempt))
+                    self._sleep(self._delay(attempt))
                 continue
             try:
                 headers = {"Connection": "close"}
@@ -176,6 +201,8 @@ class ObservatoryClient:
                 response = conn.getresponse()
                 status = response.status
                 etag = response.getheader("ETag")
+                retry_after = response.getheader("Retry-After")
+                partial = response.getheader("X-Observatory-Partial")
                 body = response.read().decode("utf-8", "replace")
             except (OSError, http.client.HTTPException) as exc:
                 # Mid-request/mid-read death: the server may have acted
@@ -188,6 +215,8 @@ class ObservatoryClient:
                     # Fresh parse per call so a caller mutating the
                     # result cannot poison the cache.
                     self.revalidations += 1
+                    self.last_partial = (tuple(partial.split(","))
+                                         if partial else None)
                     return json.loads(cached[1])
                 raise ObservatoryProtocolError(
                     url, "", ValueError("304 without a cached body")
@@ -201,8 +230,10 @@ class ObservatoryClient:
                     raise ObservatoryError(status, detail) from None
                 last = ObservatoryError(status, detail)
                 if attempt < self.retries:
-                    self._sleep(self.backoff * (2 ** attempt))
+                    self._sleep(self._delay(attempt, retry_after))
                 continue
+            self.last_partial = (tuple(partial.split(","))
+                                 if partial else None)
             if raw:
                 return body
             try:
@@ -315,7 +346,7 @@ class ObservatoryClient:
                 if failures > self.retries:
                     raise ObservatoryUnreachable(
                         url, failures, exc) from exc
-                self._sleep(self.backoff * (2 ** (failures - 1)))
+                self._sleep(self._delay(failures - 1))
                 continue
             try:
                 target = path
@@ -361,7 +392,7 @@ class ObservatoryClient:
                 raise ObservatoryUnreachable(
                     url, failures, last_error) from last_error
             if failures:
-                self._sleep(self.backoff * (2 ** (failures - 1)))
+                self._sleep(self._delay(failures - 1))
 
     @staticmethod
     def _read_frames(response: http.client.HTTPResponse

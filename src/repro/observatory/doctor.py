@@ -44,7 +44,7 @@ from repro.observatory.store import (
     file_sha256,
 )
 
-__all__ = ["FsckReport", "fsck"]
+__all__ = ["FsckReport", "fleet_shard_roots", "fsck", "fsck_fleet"]
 
 _SEGMENT_RE = re.compile(r"^seg-(\d{8})\.(jsonl|colseg)$")
 
@@ -492,3 +492,32 @@ def _salvage_generation(root: Path) -> int:
         return best + 1
     import time
     return int(time.time())
+
+
+def fleet_shard_roots(root: Union[str, Path]) -> list[Path]:
+    """Shard store roots under a fleet directory, shard-index order.
+
+    A directory counts as a shard store when it matches the fleet's
+    ``shard-NN`` naming and holds either a ``shard.json`` sidecar (a
+    routed shard) or a store manifest (a shard mid-initialization).
+    An empty list means ``root`` is not a fleet root.
+    """
+    root = Path(root)
+    return sorted(path for path in root.glob("shard-*")
+                  if path.is_dir() and ((path / "shard.json").exists()
+                                        or (path / "manifest.json").exists()))
+
+
+def fsck_fleet(root: Union[str, Path],
+               repair: bool = False) -> dict[str, FsckReport]:
+    """Run :func:`fsck` over every shard store of a fleet root.
+
+    Shards are independent stores with independent failure domains, so
+    the fan-out is just one report per shard, keyed by shard name —
+    damage in one shard never blocks checking (or repairing) the rest.
+    """
+    shard_roots = fleet_shard_roots(root)
+    if not shard_roots:
+        raise FileNotFoundError(f"{root}: no shard stores (shard-*/ "
+                                f"directories) found")
+    return {path.name: fsck(path, repair=repair) for path in shard_roots}

@@ -107,6 +107,9 @@ class _NotFound(Exception):
 
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-observatory"
+    #: Bound every blocking socket read/write: a wedged client cannot
+    #: hold a handler thread (and the graceful-shutdown join) forever.
+    timeout = 30
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # keep the test/CI output clean
@@ -185,6 +188,9 @@ class ObservatoryApp:
         #: Attached by the async transport's stream hub; when present,
         #: ``render_metrics`` folds the ``observatory_stream_*`` series.
         self.stream_stats = None
+        #: Extra keys merged into the ``/healthz`` body — shard workers
+        #: use this to announce their fleet identity.
+        self.healthz_extra: Optional[dict[str, Any]] = None
 
     # -- one-request entry point ------------------------------------------
 
@@ -369,6 +375,8 @@ class ObservatoryApp:
                 # Liveness stays "ok" while degraded (the daemon is
                 # making progress); a stalled ingest is a real outage.
                 body["status"] = "ok" if state == "degraded" else "stalled"
+        if self.healthz_extra:
+            body.update(self.healthz_extra)
         return body
 
     def _outbreaks(self, params: dict) -> dict[str, Any]:
@@ -591,6 +599,18 @@ class ObservatoryApp:
         return "\n".join(lines) + "\n"
 
 
+class _DrainingHTTPServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` with graceful drain semantics.
+
+    Handler threads are non-daemon, so ``server_close()`` (and, as a
+    backstop, interpreter exit) joins every in-flight handler instead
+    of killing a response mid-write; ``_Handler.timeout`` bounds how
+    long a wedged client can delay the join.
+    """
+
+    daemon_threads = False
+
+
 class ObservatoryServer(ObservatoryApp):
     """The threaded transport: one handler thread per connection.
 
@@ -607,7 +627,7 @@ class ObservatoryServer(ObservatoryApp):
                  use_view: bool = True):
         super().__init__(store, ingest=ingest, archive=archive,
                          supervisor=supervisor, use_view=use_view)
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd = _DrainingHTTPServer((host, port), _Handler)
         self._httpd.observatory = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
@@ -633,6 +653,13 @@ class ObservatoryServer(ObservatoryApp):
     def serve_forever(self) -> None:
         """Blocking serve (the CLI foreground mode)."""
         self._httpd.serve_forever()
+
+    def request_shutdown(self) -> None:
+        """Signal-handler-safe shutdown request: asks ``serve_forever``
+        to return without blocking on it.  (Calling ``shutdown()`` on
+        the serving thread deadlocks — it waits for the serve loop the
+        caller is standing on — hence the one-shot helper thread.)"""
+        threading.Thread(target=self._httpd.shutdown, daemon=True).start()
 
     def stop(self) -> None:
         self._httpd.shutdown()

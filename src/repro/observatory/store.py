@@ -384,22 +384,54 @@ class EventStore:
             return None  # torn/garbled tail
         return event if isinstance(event, dict) else None
 
-    def _open_segment(self) -> None:
-        segment = _Segment(name=_segment_name(self._next_seq),
-                           first_seq=self._next_seq)
+    def _open_segment(self, first_seq: int) -> None:
+        # Named by the seq of the first event it will hold — for plain
+        # appends that is ``next_seq``; a pinned append names it after
+        # the pinned seq so the on-disk invariant every reader and the
+        # doctor rely on (first event seq == first_seq) still holds.
+        segment = _Segment(name=_segment_name(first_seq),
+                           first_seq=first_seq)
         self._segments.append(segment)
         self._sync_manifest()
         self._handle = open(self.root / segment.name, "ab")
 
-    def append(self, kind: str, time: int, payload: dict[str, Any]) -> int:
-        """Append one event; returns its seq.  Flushed immediately."""
+    def append(self, kind: str, time: int, payload: dict[str, Any],
+               seq: Optional[int] = None) -> int:
+        """Append one event; returns its seq.  Flushed immediately.
+
+        ``seq`` pins the event's seq explicitly instead of taking the
+        next one; it must be ``>= next_seq``.  Shard stores use this to
+        keep the *source* store's global seqs while holding only a
+        routed subset of its events — the resulting gapped-but-ascending
+        histories are already first-class here (compaction folds events
+        in place and leaves the same shape).
+        """
         if self.readonly:
             raise RuntimeError("store opened readonly")
-        event = {"seq": self._next_seq, "time": time, "kind": kind}
+        if seq is None:
+            seq = self._next_seq
+        elif seq < self._next_seq:
+            raise ValueError(f"cannot append seq {seq}: the store is "
+                             f"already at {self._next_seq}")
+        event = {"seq": seq, "time": time, "kind": kind}
         for key, value in payload.items():
             if key not in event:
                 event[key] = value
         active = self._segments[-1] if self._segments else None
+        if active is not None and not active.sealed and active.count == 0 \
+                and seq != active.first_seq:
+            # An empty active segment left by a crash between a roll and
+            # its first append: re-open it under the pinned seq so the
+            # first-event-matches-first_seq invariant readers and the
+            # doctor check still holds.
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            stale = self.root / active.name
+            if stale.exists():
+                stale.unlink()
+            self._segments.pop()
+            active = self._segments[-1] if self._segments else None
         if active is None or active.sealed \
                 or active.count >= self.segment_max_records:
             if self._handle is not None:
@@ -410,7 +442,7 @@ class EventStore:
                 path = self.root / active.name
                 if path.exists():
                     active.sha256 = file_sha256(path)
-            self._open_segment()
+            self._open_segment(seq)
             active = self._segments[-1]
         elif self._handle is None:
             self._handle = open(self.root / active.name, "ab")
@@ -418,7 +450,7 @@ class EventStore:
         self._handle.write(line.encode("utf-8"))
         self._handle.flush()
         active.note(event)
-        self._next_seq += 1
+        self._next_seq = seq + 1
         return event["seq"]
 
     def sync(self) -> None:
