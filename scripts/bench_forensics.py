@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""Measure the pre-outbreak forensics lookup and emit
+``BENCH_forensics.json``.
+
+The claim under test (DESIGN.md §16): ``GET /outbreaks/<id>/forensics``
+is O(outbreak), answered from the stored snapshot via the materialized
+views — so its latency must stay flat as the event store grows.  The
+bench builds two stores holding the *same* outbreak/forensics pairs,
+one padded with 10× the bulk history of the other, serves each on the
+asyncio engine, and times the identical lookup against both.  The
+acceptance bar is p50(10×) <= 2 × p50(1×).
+
+A third leg times the ETag revalidation path (``If-None-Match`` →
+``304``) on the large store, and a fourth the no-views fallback (the
+per-prefix pushdown scan a cold server uses) for contrast.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_forensics.py [--pairs 12]
+        [--padding 2000] [--requests 200] [--quick]
+        [--out BENCH_forensics.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.observatory import (  # noqa: E402
+    AsyncObservatoryServer,
+    EventStore,
+    outbreak_id,
+)
+
+FLAT_BOUND = 2.0  # p50 may not grow past this factor over a 10× store
+
+
+def build_store(root: Path, pairs: int, padding: int) -> list[str]:
+    """A store with ``pairs`` outbreak+forensics pairs buried in
+    ``padding`` bulk events; returns the outbreak ids."""
+    rng = random.Random(23)
+    store = EventStore(root, segment_max_records=2048)
+    ids = []
+    interleave = max(1, padding // max(1, pairs))
+    appended = 0
+    while appended < padding or len(ids) < pairs:
+        for _ in range(interleave):
+            if appended >= padding:
+                break
+            prefix = f"10.{rng.randrange(192)}.{rng.randrange(8)}.0/24"
+            store.append("lifespan", 1_700_000_000 + appended * 30,
+                         {"prefix": prefix,
+                          "segment_count": rng.randrange(0, 4),
+                          "resurrection": bool(rng.randrange(2)),
+                          "total_seconds": float(rng.randrange(60, 7200))})
+            appended += 1
+        if len(ids) < pairs:
+            index = len(ids)
+            prefix = f"192.0.{index}.0/24"
+            announce = 1_700_000_000 + index * 3600
+            payload = {"prefix": prefix, "announce_time": announce,
+                       "collector": "rrc00",
+                       "peer_address": f"2001:db8::{index + 1:x}"}
+            identifier = outbreak_id(payload)
+            ids.append(identifier)
+            detected = announce + 7200
+            store.append("outbreak", detected,
+                         dict(payload, id=identifier, peer_asn=3,
+                              withdraw_time=announce + 900,
+                              detected_at=detected, path="3 2 1",
+                              stale=True))
+            store.append("forensics", detected, {
+                "outbreak_id": identifier, "prefix": prefix,
+                "origin_asn": 1, "collector": "rrc00",
+                "peer_address": payload["peer_address"], "peer_asn": 3,
+                "announce_time": announce,
+                "withdraw_time": announce + 900, "detected_at": detected,
+                "peers": [{"prefix": prefix, "collector": "rrc00",
+                           "peer_address": f"2001:db8::{peer:x}",
+                           "peer_asn": 3 + peer, "path": f"{3 + peer} 2 1",
+                           "announced_at": announce, "withdrawn_at": None,
+                           "aggregator_asn": None,
+                           "aggregator_address": None}
+                          for peer in range(1, 9)]})
+    store.sync()
+    store.close()
+    return ids
+
+
+def percentile(latencies: list, fraction: float) -> float:
+    ordered = sorted(latencies)
+    return ordered[int(fraction * (len(ordered) - 1))]
+
+
+def time_requests(url: str, count: int, headers=None) -> dict:
+    latencies = []
+    body, status = None, None
+    resp_headers: dict = {}
+    for _ in range(count):
+        request = urllib.request.Request(url, headers=headers or {})
+        t0 = time.perf_counter()
+        try:
+            with urllib.request.urlopen(request) as response:
+                body = response.read()
+                status = response.status
+                resp_headers = dict(response.headers)
+        except urllib.error.HTTPError as exc:
+            status = exc.code
+            resp_headers = dict(exc.headers)
+            body = exc.read()
+        latencies.append(time.perf_counter() - t0)
+    total = sum(latencies)
+    return {
+        "requests": count,
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        "mean_ms": round(total / count * 1e3, 3),
+        "requests_per_second": round(count / total, 1),
+        "_body": body,
+        "_status": status,
+        "_headers": resp_headers,
+    }
+
+
+def strip(leg: dict) -> dict:
+    return {k: v for k, v in leg.items() if not k.startswith("_")}
+
+
+def lookup_leg(root: Path, identifier: str, requests: int,
+               use_view: bool = True, if_none_match: str = None) -> dict:
+    server = AsyncObservatoryServer(
+        EventStore(root, readonly=True), use_view=use_view).start()
+    try:
+        path = "/outbreaks/" + urllib.parse.quote(identifier, safe="") \
+            + "/forensics"
+        headers = {"If-None-Match": if_none_match} if if_none_match else {}
+        leg = time_requests(server.url + path, requests, headers)
+        return leg
+    finally:
+        server.stop()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--pairs", type=int, default=12)
+    parser.add_argument("--padding", type=int, default=2000,
+                        help="bulk events in the small store (×10 in "
+                             "the large one)")
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_forensics.json")
+    args = parser.parse_args()
+    if args.quick:
+        args.padding = min(args.padding, 400)
+        args.requests = min(args.requests, 60)
+
+    import tempfile
+    with tempfile.TemporaryDirectory(prefix="bench-forensics-") as tmp_name:
+        tmp = Path(tmp_name)
+        ids_small = build_store(tmp / "small", args.pairs, args.padding)
+        ids_large = build_store(tmp / "large", args.pairs,
+                                args.padding * 10)
+        assert ids_small == ids_large  # same pairs, different bulk
+        victim = ids_small[len(ids_small) // 2]
+
+        small = lookup_leg(tmp / "small", victim, args.requests)
+        large = lookup_leg(tmp / "large", victim, args.requests)
+        for leg in (small, large):
+            assert leg["_status"] == 200, leg["_status"]
+        body_small = json.loads(small["_body"])
+        body_large = json.loads(large["_body"])
+        assert body_small["outbreak_id"] == victim
+        # Identical snapshot content: only store coordinates may differ.
+        for volatile in ("snapshot_seq", "snapshot_time"):
+            body_small.pop(volatile), body_large.pop(volatile)
+        assert body_small == body_large
+
+        revalidate = lookup_leg(tmp / "large", victim, args.requests,
+                                if_none_match=large["_headers"]["ETag"])
+        assert revalidate["_status"] == 304
+        no_view = lookup_leg(tmp / "large", victim, args.requests,
+                             use_view=False)
+        assert no_view["_status"] == 200
+
+        ratio = large["p50_ms"] / max(small["p50_ms"], 1e-6)
+        flat = ratio <= FLAT_BOUND
+        report = {
+            "host": {"cpu_count": os.cpu_count()},
+            "quick": args.quick,
+            "legs": {
+                "lookup_1x": strip(small),
+                "lookup_10x": strip(large),
+                "revalidate_304_10x": strip(revalidate),
+                "lookup_10x_no_view": strip(no_view),
+            },
+            "workload": {
+                "outbreak_pairs": args.pairs,
+                "padding_events_1x": args.padding,
+                "padding_events_10x": args.padding * 10,
+                "peers_per_snapshot": 8,
+            },
+            "flat": {"p50_ratio_10x_over_1x": round(ratio, 3),
+                     "bound": FLAT_BOUND, "ok": flat},
+        }
+        Path(args.out).write_text(json.dumps(report, indent=1,
+                                             sort_keys=True) + "\n")
+        print(json.dumps(report["flat"], sort_keys=True))
+        print(f"wrote {args.out}")
+        if not flat:
+            print(f"FAIL: lookup p50 grew {ratio:.2f}x over a 10x store "
+                  f"(bound {FLAT_BOUND}x)", file=sys.stderr)
+            return 1
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

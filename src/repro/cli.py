@@ -195,6 +195,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="resume strictly after this cursor (from a "
                             "previous --limit run)")
 
+    forensics = obs.add_parser(
+        "forensics", help="the pre-outbreak snapshot for one outbreak: "
+                          "per-peer last paths, aggregator clock decode, "
+                          "suspect AS")
+    forensics.add_argument("target",
+                           help="observatory base URL (http://...) — "
+                                "monolith or federated — or an event "
+                                "store directory")
+    forensics.add_argument("outbreak",
+                           help="outbreak ID (the 'id' field of an "
+                                "/outbreaks row)")
+
     compact = obs.add_parser(
         "compact", help="fold superseded lifespan events in a store")
     compact.add_argument("store", help="event store directory")
@@ -447,6 +459,7 @@ def _cmd_observatory(args) -> int:
         "serve": _cmd_observatory_serve,
         "tail": _cmd_observatory_tail,
         "query": _cmd_observatory_query,
+        "forensics": _cmd_observatory_forensics,
         "compact": _cmd_observatory_compact,
         "doctor": _cmd_observatory_doctor,
         "fleet": _cmd_observatory_fleet,
@@ -789,6 +802,42 @@ def _cmd_observatory_query(args) -> int:
         print(json.dumps(row, sort_keys=True))
     if next_cursor is not None:
         print(f"next cursor: {next_cursor}", file=sys.stderr)
+    return 0
+
+
+def _cmd_observatory_forensics(args) -> int:
+    import json
+
+    if args.target.startswith(("http://", "https://")):
+        from repro.observatory import (ObservatoryClient, ObservatoryError,
+                                       ObservatoryUnreachable)
+
+        client = ObservatoryClient(args.target)
+        try:
+            body = client.forensics(args.outbreak)
+        except (ObservatoryError, ObservatoryUnreachable) as exc:
+            print(f"forensics: {exc}", file=sys.stderr)
+            return 2
+    else:
+        from repro.observatory import EventStore, render_forensics
+        from repro.observatory.forensics import outbreak_prefix
+
+        store = EventStore(args.target, readonly=True)
+        try:
+            event = None
+            prefix = outbreak_prefix(args.outbreak) or None
+            for candidate in store.events(kinds=("forensics",),
+                                          prefix=prefix):
+                if candidate["outbreak_id"] == args.outbreak:
+                    event = candidate  # seq order: last one wins
+        finally:
+            store.close()
+        if event is None:
+            print(f"forensics: no such outbreak: {args.outbreak}",
+                  file=sys.stderr)
+            return 2
+        body = render_forensics(event)
+    print(json.dumps(body, sort_keys=True))
     return 0
 
 

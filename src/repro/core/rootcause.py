@@ -17,7 +17,8 @@ from typing import Iterable, Optional, Sequence
 from repro.bgp.attributes import ASPath
 from repro.core.outbreaks import ZombieOutbreak
 
-__all__ = ["RootCauseInference", "infer_root_cause", "PalmTree"]
+__all__ = ["RootCauseInference", "infer_root_cause", "infer_root_causes",
+           "build_palm_tree", "PalmTree"]
 
 
 @dataclass(frozen=True)
@@ -32,6 +33,21 @@ class PalmTree:
     suspect: Optional[int]
     #: ASes seen after the branch point (the palm's fronds).
     branches: frozenset[int]
+    #: how many input paths were rooted at the origin (and therefore
+    #: contributed to the tree) vs how many were offered in total.
+    #: ``rooted_paths == 0`` means "no evidence", which is a different
+    #: verdict from "evidence, but no unique suspect".
+    rooted_paths: int = 0
+    total_paths: int = 0
+
+    @property
+    def verdict(self) -> str:
+        """``suspect`` | ``no-suspect`` | ``no-evidence``."""
+        if self.suspect is not None:
+            return "suspect"
+        if self.rooted_paths == 0:
+            return "no-evidence"
+        return "no-suspect"
 
 
 @dataclass(frozen=True)
@@ -46,6 +62,22 @@ class RootCauseInference:
         return self.tree.suspect
 
 
+def _collapse_prepending(asns: Sequence[int]) -> tuple[int, ...]:
+    """Collapse consecutive duplicate ASNs (AS-path prepending).
+
+    Prepending is traffic engineering, not topology: ``10 10 2 1`` and
+    ``10 2 1`` describe the same AS-level route.  Left uncollapsed, a
+    prepended RIS peer appears both as path head and mid-path, escapes
+    the ``pure_observers`` guard below, and gets blamed; a prepending
+    origin produces nonsense trunks like ``(1, 1, 2)``.
+    """
+    collapsed: list[int] = []
+    for asn in asns:
+        if not collapsed or collapsed[-1] != asn:
+            collapsed.append(asn)
+    return tuple(collapsed)
+
+
 def _build_palm_tree(paths: Sequence[ASPath], origin: int) -> PalmTree:
     """Walk from the origin towards the peers while the next hop is
     unique across all paths.
@@ -56,14 +88,15 @@ def _build_palm_tree(paths: Sequence[ASPath], origin: int) -> PalmTree:
     an AS merely received the stale route; an AS that also appears
     mid-path demonstrably propagated it and remains blameable.
     """
+    total = len(paths)
     reversed_paths = []
     for path in paths:
-        asns = tuple(path.asns)
+        asns = _collapse_prepending(tuple(path.asns))
         if not asns or asns[-1] != origin:
             continue  # not rooted at the beacon origin — skip
         reversed_paths.append(tuple(reversed(asns)))  # origin first
     if not reversed_paths:
-        return PalmTree(origin, (origin,), None, frozenset())
+        return PalmTree(origin, (origin,), None, frozenset(), 0, total)
 
     heads = {p[-1] for p in reversed_paths}
     mid_asns = {asn for p in reversed_paths for asn in p[:-1]}
@@ -89,7 +122,14 @@ def _build_palm_tree(paths: Sequence[ASPath], origin: int) -> PalmTree:
     for p in reversed_paths:
         branches.update(p[depth:])
     suspect = trunk[-1] if len(trunk) > 1 else None
-    return PalmTree(origin, tuple(trunk), suspect, frozenset(branches))
+    return PalmTree(origin, tuple(trunk), suspect, frozenset(branches),
+                    len(reversed_paths), total)
+
+
+def build_palm_tree(paths: Sequence[ASPath], origin: int) -> PalmTree:
+    """Public entry point for callers that hold bare paths rather than
+    a :class:`ZombieOutbreak` (e.g. the forensics endpoint)."""
+    return _build_palm_tree(paths, origin)
 
 
 def infer_root_cause(outbreak: ZombieOutbreak,

@@ -59,6 +59,10 @@ class StateReconstructor:
     def __init__(self, records: Iterable[Record]):
         #: (peer, prefix) -> time-ordered events.
         self._events: dict[tuple[PeerKey, Prefix], list[_Event]] = {}
+        #: prefix -> peers with an event list for it.  Per-prefix
+        #: queries (``peers_with_prefix``/``ever_announced``) walk this
+        #: instead of scanning every (peer, prefix) pair.
+        self._peers_by_prefix: dict[Prefix, set[PeerKey]] = {}
         #: peers that ever appeared in the stream.
         self._peers: dict[PeerKey, int] = {}
         ordered = sorted(records, key=record_sort_key)
@@ -77,6 +81,7 @@ class StateReconstructor:
                            present=record.is_announcement,
                            announcement=record if record.is_announcement else None)
             self._events.setdefault((key, record.prefix), []).append(event)
+            self._peers_by_prefix.setdefault(record.prefix, set()).add(key)
 
     def _append_for_peer(self, key: PeerKey, time: int, order: int) -> None:
         """Record a session transition: a REMOVED event on every prefix
@@ -135,6 +140,7 @@ class StateReconstructor:
                         if item["announcement"] is not None else None))
                 for item in entry["events"]
             ]
+            instance._peers_by_prefix.setdefault(key[1], set()).add(key[0])
         return instance
 
     # -- queries ---------------------------------------------------------
@@ -181,9 +187,7 @@ class StateReconstructor:
     def peers_with_prefix(self, prefix: Prefix, time: int) -> list[PeerKey]:
         """Peer routers whose state for ``prefix`` is PRESENT at ``time``."""
         present = []
-        for (key, event_prefix) in self._events:
-            if event_prefix != prefix:
-                continue
+        for key in self._peers_by_prefix.get(prefix, ()):
             if self.state_at(key, prefix, time) is PrefixState.PRESENT:
                 present.append(key)
         return sorted(present)
@@ -194,5 +198,5 @@ class StateReconstructor:
         if key is not None:
             events = self._events.get((key, prefix), [])
             return any(e.present for e in events)
-        return any(event_prefix == prefix and any(e.present for e in events)
-                   for (peer, event_prefix), events in self._events.items())
+        return any(any(e.present for e in self._events[(peer, prefix)])
+                   for peer in self._peers_by_prefix.get(prefix, ()))

@@ -70,6 +70,12 @@ from repro.observatory.fleet import (
     partition_store,
     shard_for,
 )
+from repro.observatory.forensics import (
+    LastAnnouncementRing,
+    outbreak_id,
+    outbreak_prefix,
+    render_forensics,
+)
 from repro.observatory.ingest import ObservatoryIngest
 from repro.observatory.server import ObservatoryApp, ObservatoryServer
 from repro.observatory.store import EventStore, file_sha256
@@ -92,6 +98,7 @@ __all__ = [
     "EventStore",
     "FederatedObservatoryServer",
     "FsckReport",
+    "LastAnnouncementRing",
     "MaterializedViews",
     "ObservatoryApp",
     "ObservatoryClient",
@@ -113,7 +120,10 @@ __all__ = [
     "fsck_fleet",
     "load_checkpoint",
     "load_scenario",
+    "outbreak_id",
+    "outbreak_prefix",
     "partition_store",
+    "render_forensics",
     "save_checkpoint",
     "shard_for",
 ]

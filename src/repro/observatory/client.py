@@ -269,6 +269,12 @@ class ObservatoryClient:
     def zombie(self, prefix: str) -> dict[str, Any]:
         return self._get("/zombies/" + quote(str(prefix), safe=""))
 
+    def forensics(self, outbreak_id: str) -> dict[str, Any]:
+        """The pre-outbreak snapshot for one outbreak event (use the
+        ``id`` field of an ``/outbreaks`` row)."""
+        return self._get("/outbreaks/" + quote(str(outbreak_id), safe="")
+                         + "/forensics")
+
     def resurrections(self, prefix: Optional[str] = None,
                       since: Optional[int] = None,
                       until: Optional[int] = None,

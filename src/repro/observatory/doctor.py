@@ -14,7 +14,14 @@ The doctor handles the rest of the failure model:
   know about (artefacts of an interrupted truncate/compact);
 * **manifest drift** — counts/indexes that disagree with segment
   contents, missing seal hashes, seq discontinuities between segments,
-  or a manifest that is itself unreadable.
+  or a manifest that is itself unreadable;
+* **forensics drift** — on a structurally clean store, a semantic
+  sweep of the pre-outbreak ``forensics`` snapshot records (DESIGN.md
+  §16): required fields present, the snapshot's outbreak id pairs with
+  an ``outbreak`` event actually in the store, and the prefix embedded
+  in the id agrees with the snapshot's own prefix field.  Semantic
+  drift is reported, never repaired — the snapshot is the evidence,
+  and rewriting evidence is worse than flagging it.
 
 Repair policy: consistency over completeness.  Torn JSONL tails are
 cut back to the last complete line; orphans are moved aside (renamed
@@ -39,10 +46,12 @@ from typing import Any, Optional, Union
 from repro.observatory.colseg import ColsegError, ColumnarSegment
 from repro.observatory.store import (
     MANIFEST_VERSION,
+    EventStore,
     _complete_lines,
     _Segment,
     file_sha256,
 )
+from repro.realtime.sinks import outbreak_prefix
 
 __all__ = ["FsckReport", "fleet_shard_roots", "fsck", "fsck_fleet"]
 
@@ -76,6 +85,8 @@ class FsckReport:
     orphan_files: int = 0
     drifted_entries: int = 0
     manifest_rebuilt: bool = False
+    #: forensics snapshot records semantically swept (clean stores only).
+    forensics_checked: int = 0
     #: events dropped (repair) or doomed (check) by unrecoverable damage.
     events_lost: int = 0
 
@@ -109,6 +120,7 @@ class FsckReport:
             "orphan_files": self.orphan_files,
             "drifted_entries": self.drifted_entries,
             "manifest_rebuilt": self.manifest_rebuilt,
+            "forensics_checked": self.forensics_checked,
             "events_lost": self.events_lost,
             "issues": list(self.issues),
             "actions": list(self.actions),
@@ -398,7 +410,60 @@ def fsck(root: Union[str, Path], repair: bool = False) -> FsckReport:
         # they read before the repair.
         _write_manifest(root, surviving, next_seq, generation + 1)
         report.action("rewrote manifest.json")
+    if report.clean:
+        # Only a structurally sound store earns the semantic sweep —
+        # on a damaged one every finding would be noise on top of the
+        # real (structural) problem.
+        _check_forensics(root, report)
     return report
+
+
+def _check_forensics(root: Path, report: FsckReport) -> None:
+    """Semantic sweep of the pre-outbreak forensics records.
+
+    Every ``forensics`` event must carry its identity fields, its
+    ``peers`` ring excerpt must be a list, its ``outbreak_id`` must
+    pair with an ``outbreak`` event the store actually holds, and the
+    prefix embedded in the id must agree with the record's own prefix
+    field (federation pins the owning shard off the id, so drift there
+    means routed lookups would miss).  Findings are check-level only:
+    the snapshot is evidence captured at detection time, and no repair
+    can reconstruct it after the fact.
+    """
+    try:
+        store = EventStore(root, readonly=True)
+    except (OSError, ValueError):
+        return  # structural checks already said everything useful
+    try:
+        outbreak_ids = set()
+        for event in store.events(kinds=("outbreak",)):
+            identifier = event.get("id")
+            if identifier is not None:
+                outbreak_ids.add(identifier)
+        for event in store.events(kinds=("forensics",)):
+            report.forensics_checked += 1
+            where = f"forensics event seq {event.get('seq')}"
+            missing = [name for name in ("outbreak_id", "prefix", "peers")
+                       if name not in event]
+            if missing:
+                report.issue(f"{where}: missing field(s) "
+                             f"{', '.join(missing)}")
+                continue
+            if not isinstance(event["peers"], list):
+                report.issue(f"{where}: peers is not a list")
+            identifier = event["outbreak_id"]
+            if identifier not in outbreak_ids:
+                report.issue(f"{where}: snapshot for unknown outbreak "
+                             f"{identifier!r} (no matching outbreak event)")
+            embedded = outbreak_prefix(identifier)
+            if not embedded:
+                report.issue(f"{where}: malformed outbreak id "
+                             f"{identifier!r}")
+            elif embedded != event["prefix"]:
+                report.issue(f"{where}: prefix {event['prefix']!r} "
+                             f"disagrees with outbreak id {identifier!r}")
+    finally:
+        store.close()
 
 
 def _rebuild_from_files(root: Path, report: FsckReport) -> FsckReport:

@@ -56,7 +56,13 @@ from urllib.parse import unquote, urlencode, urlsplit
 
 from repro.observatory.asyncserver import AsyncHTTPTransport
 from repro.observatory.fleet import shard_for, shard_name
-from repro.observatory.server import CACHE_CONTROL, ObservatoryApp, _BadRequest
+from repro.observatory.forensics import outbreak_prefix
+from repro.observatory.server import (
+    CACHE_CONTROL,
+    ObservatoryApp,
+    _BadRequest,
+    forensics_outbreak_id,
+)
 from repro.observatory.views import CursorError, pair_cursor, seq_cursor
 
 __all__ = ["CircuitBreaker", "FederatedObservatoryServer", "PARTIAL_HEADER",
@@ -276,7 +282,15 @@ class FederatedObservatoryServer(AsyncHTTPTransport):
             if path in LISTINGS:
                 return await self._listing(path, params, if_none_match)
             if path.startswith("/zombies/"):
-                return await self._routed(path, if_none_match)
+                return await self._routed(
+                    path, if_none_match, unquote(path[len("/zombies/"):]))
+            outbreak = forensics_outbreak_id(path)
+            if outbreak is not None:
+                # The outbreak ID leads with its prefix, and the shard
+                # router partitions forensics events by that same
+                # prefix — so the ID alone names the single owner.
+                return await self._routed(
+                    path, if_none_match, outbreak_prefix(outbreak))
             return ObservatoryApp._json_response(
                 404, {"error": f"no such resource: {path}"})
         except (_BadRequest, CursorError) as exc:
@@ -550,13 +564,15 @@ class FederatedObservatoryServer(AsyncHTTPTransport):
 
     # -- single-owner routes -----------------------------------------------
 
-    async def _routed(self, path: str, if_none_match: Optional[str]
+    async def _routed(self, path: str, if_none_match: Optional[str],
+                      pin_prefix: str
                       ) -> tuple[int, list[tuple[str, str]], bytes]:
-        """``/zombies/<prefix>`` lives on exactly one shard: forward the
-        request verbatim and pass the answer through byte-for-byte (the
-        shard's scalar ETag is already restart-stable)."""
-        prefix = unquote(path[len("/zombies/"):])
-        owner = shard_for(prefix, len(self.shard_urls))
+        """A single-owner route (``/zombies/<prefix>``,
+        ``/outbreaks/<id>/forensics``) lives on exactly one shard —
+        the one ``pin_prefix`` hashes to: forward the request verbatim
+        and pass the answer through byte-for-byte (the shard's scalar
+        ETag is already restart-stable)."""
+        owner = shard_for(pin_prefix, len(self.shard_urls))
         try:
             status, headers, payload = await self._ask_shard(
                 owner, path, if_none_match)

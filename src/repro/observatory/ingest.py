@@ -32,6 +32,11 @@ from repro.core.state import PeerKey
 from repro.mrt.tabledump import RibDump
 from repro.net.prefix import Prefix
 from repro.observatory.checkpoint import load_checkpoint, save_checkpoint
+from repro.observatory.forensics import (
+    DEFAULT_RING_CAPACITY,
+    LastAnnouncementRing,
+    forensics_payload,
+)
 from repro.observatory.store import EventStore
 from repro.realtime.sinks import serialise_alert
 from repro.realtime.streaming import (
@@ -67,7 +72,8 @@ class ObservatoryIngest:
                  excluded_peers: frozenset[PeerKey] = frozenset(),
                  quiet: int = 120 * MINUTE,
                  late_first_seen: int = 2 * DAY,
-                 checkpoint_every: int = 1000):
+                 checkpoint_every: int = 1000,
+                 ring_capacity: int = DEFAULT_RING_CAPACITY):
         self.archive = archive
         self.store = store
         self.checkpoint_path = Path(checkpoint_path)
@@ -82,12 +88,14 @@ class ObservatoryIngest:
         self.quiet = quiet
         self.late_first_seen = late_first_seen
         self.checkpoint_every = checkpoint_every
+        self.ring_capacity = ring_capacity
 
         self.records_ingested = 0
         self.dumps_ingested = 0
         self.finished = False
         self.counters: dict[str, int] = {
             "outbreak_events": 0,
+            "forensics_events": 0,
             "resurrection_events": 0,
             "lifespan_events": 0,
             "rib_resurrection_events": 0,
@@ -122,6 +130,12 @@ class ObservatoryIngest:
         self.session = LifespanSession(
             self._final_withdrawals(), excluded_peers=self.excluded_peers,
             min_stuck=self.threshold, late_first_seen=self.late_first_seen)
+        self.ring = LastAnnouncementRing(
+            self.ring_capacity, prefixes=self._watched_prefixes(),
+            excluded_peers=self.excluded_peers)
+
+    def _watched_prefixes(self) -> set[str]:
+        return {str(interval.prefix) for interval in self.intervals}
 
     def _final_withdrawals(self) -> dict[Prefix, int]:
         out: dict[Prefix, int] = {}
@@ -148,6 +162,15 @@ class ObservatoryIngest:
         self.dumps_ingested = ribs["ingested"]
         self.finished = document["finished"]
         self.counters.update(document["counters"])
+        ring = document.get("ring")  # absent in pre-forensics checkpoints
+        if ring is not None:
+            self.ring = LastAnnouncementRing.from_snapshot(
+                ring, prefixes=self._watched_prefixes(),
+                excluded_peers=self.excluded_peers)
+        else:
+            self.ring = LastAnnouncementRing(
+                self.ring_capacity, prefixes=self._watched_prefixes(),
+                excluded_peers=self.excluded_peers)
         # Roll the store back to the exact checkpointed position; the
         # re-ingested suffix then re-emits the dropped events verbatim.
         self.store.truncate(document["events_appended"])
@@ -192,8 +215,13 @@ class ObservatoryIngest:
     # -- ingestion --------------------------------------------------------
 
     def _ingest_record(self, record) -> None:
+        # Detector first, ring second: a forensics snapshot reflects
+        # every record *before* the one whose arrival triggered the
+        # evaluation — "last path before the outbreak", not including a
+        # same-instant re-announcement of the beacon prefix itself.
         for alert in self.detector.observe(record):
             self._append_outbreak(alert)
+        self.ring.observe(record)
         resurrection = self.monitor.observe(record)
         if resurrection is not None:
             self._append_resurrection(resurrection)
@@ -215,9 +243,16 @@ class ObservatoryIngest:
         self.dumps_ingested += 1
 
     def _append_outbreak(self, alert: ZombieAlert) -> None:
-        self.store.append("outbreak", alert.detected_at,
-                          serialise_alert(alert))
+        payload = serialise_alert(alert)
+        self.store.append("outbreak", alert.detected_at, payload)
         self.counters["outbreak_events"] += 1
+        # Freeze the pre-outbreak ring state right next to the outbreak
+        # it documents: same deterministic stream position, so the
+        # kill-resume byte-identity proof covers it unchanged.
+        self.store.append(
+            "forensics", alert.detected_at,
+            forensics_payload(payload, alert.interval.origin_asn, self.ring))
+        self.counters["forensics_events"] += 1
 
     def _append_resurrection(self, alert: ResurrectionAlert) -> None:
         self.store.append("resurrection", alert.resurrected_at,
@@ -313,6 +348,7 @@ class ObservatoryIngest:
             "detector": self.detector.snapshot(),
             "monitor": self.monitor.snapshot(),
             "lifespans": self.session.snapshot(),
+            "ring": self.ring.snapshot(),
             "counters": dict(self.counters),
         }
         save_checkpoint(self.checkpoint_path, document)
@@ -327,6 +363,8 @@ class ObservatoryIngest:
             "events_appended": self.store.next_seq,
             "pending_evaluations": self.detector.pending_evaluations,
             "finished": self.finished,
+            "ring_entries": len(self.ring),
+            "ring_evictions": self.ring.evictions,
             **self.counters,
         }
 

@@ -4,6 +4,8 @@ Endpoints::
 
     GET /healthz                liveness + store position
     GET /outbreaks              outbreak events  (?prefix= &since= &until=)
+    GET /outbreaks/<id>/forensics   pre-outbreak snapshot: per-peer last
+                                    paths, aggregator clock, suspect AS
     GET /zombies                latest lifespan summary per zombie prefix
     GET /zombies/<prefix>       one prefix: lifespan + outbreaks + resurrections
     GET /resurrections          update- and dump-scale resurrections, merged
@@ -54,6 +56,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional
 from urllib.parse import parse_qs, unquote, urlparse
 
+from repro.observatory.forensics import outbreak_prefix, render_forensics
 from repro.observatory.store import EventStore
 from repro.observatory.views import (
     CursorError,
@@ -63,11 +66,25 @@ from repro.observatory.views import (
     seq_cursor,
 )
 
-__all__ = ["ObservatoryApp", "ObservatoryServer"]
+__all__ = ["ObservatoryApp", "ObservatoryServer", "forensics_outbreak_id"]
 
 #: Data responses may be cached but must be revalidated (the ETag makes
 #: revalidation a 304 with no body).
 CACHE_CONTROL = "max-age=0, must-revalidate"
+
+_FORENSICS_HEAD = "/outbreaks/"
+_FORENSICS_TAIL = "/forensics"
+
+
+def forensics_outbreak_id(path: str) -> Optional[str]:
+    """The decoded outbreak ID of a ``/outbreaks/<id>/forensics`` path
+    (None when the path is not a forensics route).  Shared with the
+    federation router, which derives the owning shard from the ID."""
+    if not (path.startswith(_FORENSICS_HEAD)
+            and path.endswith(_FORENSICS_TAIL)):
+        return None
+    identifier = path[len(_FORENSICS_HEAD):-len(_FORENSICS_TAIL)]
+    return unquote(identifier) if identifier else None
 
 
 def _int_param(params: dict, name: str) -> Optional[int]:
@@ -326,7 +343,8 @@ class ObservatoryApp:
         request for an unknown path falls through to its 404 instead of
         being answered 304 (``etag_for`` succeeds for *any* path)."""
         return (path in ("/outbreaks", "/zombies", "/resurrections")
-                or path.startswith("/zombies/"))
+                or path.startswith("/zombies/")
+                or forensics_outbreak_id(path) is not None)
 
     def etag_for(self, path: str, params: dict) -> str:
         """Strong ETag for one request: the store's logical position
@@ -349,6 +367,9 @@ class ObservatoryApp:
             return self._healthz()
         if path == "/outbreaks":
             return self._outbreaks(params)
+        outbreak = forensics_outbreak_id(path)
+        if outbreak is not None:
+            return self._forensics(outbreak)
         if path == "/zombies":
             return self._zombies(params)
         if path.startswith("/zombies/"):
@@ -441,6 +462,24 @@ class ObservatoryApp:
                 "outbreaks": outbreaks, "resurrections": resurrections,
                 "outbreak_count": counts["outbreaks"],
                 "resurrection_count": counts["resurrections"]}
+
+    def _forensics(self, outbreak_id: str) -> dict[str, Any]:
+        """The pre-outbreak snapshot for one outbreak — O(outbreak):
+        one view lookup plus a render over the bounded per-prefix
+        snapshot, never a history scan (the no-view fallback scans only
+        ``forensics`` events for the ID's prefix)."""
+        if self.views is not None:
+            event = self.views.forensics(outbreak_id)
+        else:
+            event = None
+            prefix = outbreak_prefix(outbreak_id) or None
+            for candidate in self.store.events(kinds=("forensics",),
+                                               prefix=prefix):
+                if candidate["outbreak_id"] == outbreak_id:
+                    event = candidate  # seq order: last one wins
+        if event is None:
+            raise _NotFound(outbreak_id)
+        return render_forensics(event)
 
     def _resurrection_rows(self, prefix: Optional[str],
                            since: Optional[int],
@@ -560,6 +599,12 @@ class ObservatoryApp:
             metric("observatory_ingest_pending_evaluations",
                    ingest["pending_evaluations"],
                    "Beacon intervals awaiting their evaluation deadline.")
+            metric("observatory_forensics_ring_entries",
+                   ingest.get("ring_entries"),
+                   "(peer, prefix) entries in the last-announcement ring.")
+            metric("observatory_forensics_ring_evictions_total",
+                   ingest.get("ring_evictions"),
+                   "Ring entries evicted at the capacity bound.")
         if self.supervisor is not None:
             sup = self.supervisor.stats()
             metric("observatory_supervisor_restarts_total", sup["restarts"],

@@ -133,6 +133,9 @@ class MaterializedViews:
         self._resurrection_counts: dict[str, int] = {}
         self._timeline_keys: list[tuple[int, int]] = []
         self._timeline: list[dict[str, Any]] = []
+        #: outbreak id -> its ``forensics`` snapshot event (latest
+        #: wins) — the O(1) lookup behind ``/outbreaks/<id>/forensics``.
+        self._forensics: dict[str, dict[str, Any]] = {}
 
     # -- maintenance ------------------------------------------------------
 
@@ -203,6 +206,8 @@ class MaterializedViews:
             self._resurrection_counts[prefix] = \
                 self._resurrection_counts.get(prefix, 0) + 1
             self._timeline_insert({**event, "scale": "updates"})
+        elif kind == "forensics":
+            self._forensics[event["outbreak_id"]] = event
 
     def _timeline_insert(self, entry: dict[str, Any]) -> None:
         key = (entry["time"], entry["seq"])
@@ -242,6 +247,11 @@ class MaterializedViews:
                 rows.append(entry)
         return rows
 
+    def forensics(self, outbreak_id: str) -> Optional[dict[str, Any]]:
+        """The ``forensics`` snapshot event for one outbreak ID."""
+        with self._lock:
+            return self._forensics.get(outbreak_id)
+
     def counts(self, prefix: str) -> dict[str, int]:
         """Per-prefix ``outbreak`` / ``resurrection`` event counts."""
         with self._lock:
@@ -257,6 +267,7 @@ class MaterializedViews:
                 "generation": self._generation,
                 "prefixes": len(self._latest),
                 "timeline_entries": len(self._timeline),
+                "forensics_entries": len(self._forensics),
                 "refreshes": self.refreshes,
                 "rebuilds": self.rebuilds,
                 "events_folded": self.events_folded,

@@ -15,7 +15,32 @@ from typing import Callable, IO, Optional, Union
 from repro.realtime.streaming import ResurrectionAlert, ZombieAlert
 
 __all__ = ["AlertSink", "CallbackSink", "CountingSink", "JsonLinesSink",
-           "StoreStreamSink", "AlertDispatcher", "serialise_alert"]
+           "StoreStreamSink", "AlertDispatcher", "serialise_alert",
+           "outbreak_id", "outbreak_prefix"]
+
+#: Field separator for minted outbreak IDs.  ``~`` is URL-safe (RFC
+#: 3986 unreserved) and cannot appear in a prefix, collector name or
+#: peer address, so the ID parses back unambiguously.
+_ID_SEPARATOR = "~"
+
+
+def outbreak_id(payload: dict) -> str:
+    """Mint the stable ID of one serialised outbreak alert.
+
+    Deterministic in the alert's identity fields — the same outbreak
+    gets the same ID across kill-resume, re-ingest and live streaming —
+    and it *leads with the prefix*, so the federation tier can derive
+    the owning shard from the ID alone (the prefix pins the shard).
+    """
+    return _ID_SEPARATOR.join((
+        payload["prefix"], str(payload["announce_time"]),
+        payload["collector"], payload["peer_address"]))
+
+
+def outbreak_prefix(identifier: str) -> str:
+    """The prefix component of a minted outbreak ID ("" if malformed)."""
+    parts = identifier.split(_ID_SEPARATOR)
+    return parts[0] if len(parts) == 4 else ""
 
 Alert = Union[ZombieAlert, ResurrectionAlert]
 
@@ -86,7 +111,7 @@ def serialise_alert(alert: Alert) -> dict:
 
 def _serialise(alert: Alert) -> dict:
     if isinstance(alert, ZombieAlert):
-        return {
+        payload = {
             "prefix": str(alert.prefix),
             "collector": alert.peer[0],
             "peer_address": alert.peer[1],
@@ -97,6 +122,8 @@ def _serialise(alert: Alert) -> dict:
             "path": str(alert.path) if alert.path is not None else None,
             "stale": alert.stale,
         }
+        payload["id"] = outbreak_id(payload)
+        return payload
     return {
         "prefix": str(alert.prefix),
         "collector": alert.peer[0],

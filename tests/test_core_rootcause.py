@@ -2,7 +2,9 @@
 
 from helpers import ann, interval
 
+from repro.bgp import ASPath
 from repro.core import ZombieOutbreak, ZombieRoute, infer_root_cause, infer_root_causes
+from repro.core.rootcause import build_palm_tree
 from repro.net import Prefix
 from repro.utils.timeutil import ts
 
@@ -87,6 +89,81 @@ class TestPalmTree:
         ]
         inferences = infer_root_causes(outbreaks, 210312)
         assert len(inferences) == 2
+
+
+class TestPrepending:
+    """AS-path prepending must be collapsed before the tree is built:
+    ``10 10 2 1`` and ``10 2 1`` describe the same AS-level route."""
+
+    def test_peer_prepending_does_not_blame_the_observer(self):
+        """The ISSUE repro: a RIS peer that prepends its own ASN used to
+        escape the pure-observer guard and get blamed."""
+        tree = build_palm_tree([ASPath.of(10, 10, 2, 1)], 1)
+        assert tree.suspect == 2
+        assert tree.trunk == (1, 2)
+
+    def test_peer_prepending_matches_unprepended(self):
+        prepended = build_palm_tree([ASPath.of(10, 10, 2, 1)], 1)
+        plain = build_palm_tree([ASPath.of(10, 2, 1)], 1)
+        assert prepended.suspect == plain.suspect == 2
+        assert prepended.trunk == plain.trunk
+
+    def test_origin_prepending_collapses_trunk(self):
+        """Origin prepending used to yield nonsense trunks like
+        ``(1, 1, 2)``."""
+        tree = build_palm_tree([ASPath.of(10, 2, 1, 1)], 1)
+        assert tree.trunk == (1, 2)
+        assert tree.suspect == 2
+
+    def test_transit_prepending_collapsed(self):
+        tree = build_palm_tree([
+            ASPath.of(64801, 33891, 25091, 25091, 25091, 8298, 210312),
+            ASPath.of(64802, 33891, 25091, 8298, 210312),
+        ], 210312)
+        assert tree.trunk == (210312, 8298, 25091, 33891)
+        assert tree.suspect == 33891
+
+    def test_outbreak_level_inference_sees_collapsed_paths(self):
+        outbreak = outbreak_from_paths([(10, 10, 2, 1)])
+        inference = infer_root_cause(outbreak, origin_asn=1)
+        assert inference.suspect == 2
+
+
+class TestEvidenceCounts:
+    """'No path rooted at the origin' and 'rooted paths but no unique
+    suspect' used to produce indistinguishable trees."""
+
+    def test_no_evidence(self):
+        tree = build_palm_tree([ASPath.of(64801, 99999)], 210312)
+        assert tree.suspect is None
+        assert tree.rooted_paths == 0
+        assert tree.total_paths == 1
+        assert tree.verdict == "no-evidence"
+
+    def test_no_suspect_with_evidence(self):
+        tree = build_palm_tree([
+            ASPath.of(64801, 210312),
+            ASPath.of(64802, 210312),
+        ], 210312)
+        assert tree.suspect is None
+        assert tree.rooted_paths == 2
+        assert tree.total_paths == 2
+        assert tree.verdict == "no-suspect"
+
+    def test_suspect_counts_rooted_subset(self):
+        tree = build_palm_tree([
+            ASPath.of(64801, 33891, 25091, 8298, 210312),
+            ASPath.of(64802, 99999),
+        ], 210312)
+        assert tree.suspect == 33891
+        assert tree.rooted_paths == 1
+        assert tree.total_paths == 2
+        assert tree.verdict == "suspect"
+
+    def test_empty_input_is_no_evidence(self):
+        tree = build_palm_tree([], 210312)
+        assert tree.verdict == "no-evidence"
+        assert tree.total_paths == 0
 
 
 class TestCommonSubpath:

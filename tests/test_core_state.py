@@ -115,3 +115,47 @@ class TestQueries:
         records = [wd(100, P), ann(100, P, 25091, 210312)]
         state = StateReconstructor(records)
         assert state.state_at(PEER, Prefix(P), 100) is PrefixState.PRESENT
+
+
+class TestPerPrefixIndex:
+    """``peers_with_prefix`` answers from a per-prefix index; it must
+    agree with the brute-force scan over every (peer, prefix) pair."""
+
+    @staticmethod
+    def _brute_force(state, prefix, time):
+        present = []
+        for (key, event_prefix) in state._events:
+            if event_prefix != prefix:
+                continue
+            if state.state_at(key, prefix, time) is PrefixState.PRESENT:
+                present.append(key)
+        return sorted(present)
+
+    @staticmethod
+    def _world():
+        other = "2a0d:3dc1:9999::/48"
+        return [
+            ann(100, P, 25091, 210312),
+            ann(110, P, 16347, 210312, addr="192.0.2.9", peer_asn=16347),
+            ann(120, other, 6939, 210312, addr="192.0.2.10", peer_asn=6939),
+            wd(200, P),
+            sess_down(250, addr="192.0.2.9", peer_asn=16347),
+            ann(300, P, 25091, 8298, 210312),
+        ]
+
+    def test_matches_brute_force_at_every_instant(self):
+        state = StateReconstructor(self._world())
+        other = Prefix("2a0d:3dc1:9999::/48")
+        for time in (50, 100, 115, 150, 200, 260, 300, 10**9):
+            for prefix in (Prefix(P), other, Prefix("2001:db8::/32")):
+                assert state.peers_with_prefix(prefix, time) == \
+                    self._brute_force(state, prefix, time), (prefix, time)
+
+    def test_snapshot_round_trip_preserves_index(self):
+        state = StateReconstructor(self._world())
+        restored = StateReconstructor.from_snapshot(state.snapshot())
+        for time in (50, 150, 300):
+            assert restored.peers_with_prefix(Prefix(P), time) == \
+                state.peers_with_prefix(Prefix(P), time)
+        assert restored.ever_announced(Prefix(P))
+        assert not restored.ever_announced(Prefix("2001:db8::/32"))
